@@ -1,0 +1,40 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures and prints it
+(run pytest with ``-s`` to see the tables inline; they are also echoed into
+the captured output). Ground-truth simulations are cached in a
+session-scoped runner, so the whole suite simulates each benchmark once per
+required frequency.
+
+``REPRO_SCALE`` (default 1.0 = the paper's full run lengths) shortens every
+workload proportionally; error structure and energy trends are preserved.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+
+os.environ.setdefault("REPRO_SCALE", "1.0")
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Session-wide simulation cache."""
+    return ExperimentRunner(ExperimentConfig())
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Collects rendered experiment tables; dumped at session end."""
+    collected = []
+    yield collected
+    if collected:
+        print("\n" + "=" * 72)
+        print("REPRODUCED TABLES AND FIGURES")
+        print("=" * 72)
+        for text in collected:
+            print()
+            print(text)

@@ -1,0 +1,118 @@
+"""Ablation benchmarks for the energy manager's design parameters.
+
+The paper calls out three knobs (Section VI.A): the scheduling Quantum
+(5 ms), the Hold-Off count (1), and — implicitly — how strictly the
+per-interval bound spends the slowdown budget. These ablations quantify
+each on the ``xalan`` model, plus the slack-banking extension implemented
+beyond the paper.
+"""
+
+import pytest
+
+from repro.common.tables import format_table
+from repro.energy.account import compute_energy
+from repro.energy.manager import EnergyManager, ManagerConfig
+from repro.sim.run import simulate, simulate_managed
+
+THRESHOLD = 0.10
+
+
+@pytest.fixture(scope="module")
+def xalan(runner):
+    bundle = runner.bundle("xalan")
+    baseline = runner.fixed_run("xalan", 4.0)
+    return bundle, baseline
+
+
+def _managed(bundle, baseline, runner, quantum_ns=5.0e6, hold_off=1,
+             banking=False):
+    manager = EnergyManager(
+        bundle.spec,
+        ManagerConfig(tolerable_slowdown=THRESHOLD, hold_off=hold_off,
+                      slack_banking=banking),
+    )
+    result = simulate_managed(
+        bundle.program, manager, spec=bundle.spec,
+        jvm_config=bundle.jvm_config, gc_model=bundle.gc_model,
+        quantum_ns=quantum_ns,
+    )
+    energy = compute_energy(result.trace, bundle.spec,
+                            runner.power_model("xalan"))
+    slowdown = result.total_ns / baseline.total_ns - 1.0
+    saving = 1.0 - energy.total_j / baseline.energy_j
+    return slowdown, saving
+
+
+def test_ablation_quantum(benchmark, runner, xalan, report_sink):
+    bundle, baseline = xalan
+
+    def sweep():
+        rows = []
+        for quantum_ms in (1.0, 5.0, 20.0):
+            slowdown, saving = _managed(
+                bundle, baseline, runner, quantum_ns=quantum_ms * 1e6
+            )
+            rows.append((f"{quantum_ms:.0f} ms", f"{slowdown:+.1%}",
+                         f"{saving:+.1%}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(["quantum", "slowdown", "energy saving"], rows,
+                        title="[Ablation] scheduling quantum (xalan, 10%)")
+    report_sink.append(text)
+    print()
+    print(text)
+    savings = [float(r[2].rstrip("%")) / 100 for r in rows]
+    # All quanta must deliver meaningful savings within ~the bound.
+    assert all(s > 0.05 for s in savings)
+
+
+def test_ablation_hold_off(benchmark, runner, xalan, report_sink):
+    bundle, baseline = xalan
+
+    def sweep():
+        rows = []
+        for hold_off in (1, 2, 4):
+            slowdown, saving = _managed(
+                bundle, baseline, runner, hold_off=hold_off
+            )
+            rows.append((hold_off, f"{slowdown:+.1%}", f"{saving:+.1%}"))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(["hold-off", "slowdown", "energy saving"], rows,
+                        title="[Ablation] hold-off quanta (xalan, 10%)")
+    report_sink.append(text)
+    print()
+    print(text)
+    # A large hold-off reacts slower but must stay within ~the bound.
+    slowdowns = [float(r[1].rstrip("%").lstrip("+")) / 100 for r in rows]
+    assert all(s <= THRESHOLD * 1.6 for s in slowdowns)
+
+
+def test_ablation_slack_banking(benchmark, runner, xalan, report_sink):
+    bundle, baseline = xalan
+
+    def sweep():
+        rows = []
+        for banking in (False, True):
+            slowdown, saving = _managed(bundle, baseline, runner,
+                                        banking=banking)
+            rows.append(("banking" if banking else "paper (per-interval)",
+                         f"{slowdown:+.1%}", f"{saving:+.1%}", slowdown,
+                         saving))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ["bound policy", "slowdown", "energy saving"],
+        [r[:3] for r in rows],
+        title="[Ablation/extension] slack banking (xalan, 10%)",
+    )
+    report_sink.append(text)
+    print()
+    print(text)
+    plain_slow, banked_slow = rows[0][3], rows[1][3]
+    # Banking spends budget the strict per-interval bound leaves unused.
+    assert banked_slow >= plain_slow - 0.01
+    assert banked_slow <= THRESHOLD * 1.6

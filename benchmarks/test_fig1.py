@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 1 (M+CRIT vs DEP+BURST error vs target)."""
+
+from repro.experiments import fig1
+
+
+def test_fig1(benchmark, runner, report_sink):
+    result = benchmark.pedantic(fig1.run, args=(runner,), rounds=1, iterations=1)
+    report_sink.append(result.to_text())
+    print()
+    print(result.to_text())
+
+    def parse(cell):
+        return float(cell.rstrip("%")) / 100.0
+
+    # At every target, DEP+BURST beats M+CRIT; errors grow with distance.
+    mcrit = [parse(row[1]) for row in result.rows]
+    depburst = [parse(row[3]) for row in result.rows]
+    for m, d in zip(mcrit, depburst):
+        assert d < m
+    assert mcrit == sorted(mcrit)
+    # Headline: M+CRIT is badly wrong at 4 GHz, DEP+BURST is single-digit.
+    assert mcrit[-1] > 0.12
+    assert depburst[-1] < 0.10

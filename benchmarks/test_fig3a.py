@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 3(a) (errors, base 1 GHz -> 2/3/4 GHz)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3a(benchmark, runner, report_sink):
+    data = benchmark.pedantic(
+        fig3.collect, args=(runner,), rounds=1, iterations=1
+    )
+    results = fig3.run(runner)  # ground truths cached; cheap re-render
+    report_sink.append(results[0].to_text())
+    print()
+    print(results[0].to_text())
+    # Paper ordering at the farthest target (4 GHz):
+    # M+CRIT worst, BURST helps every model, DEP+BURST best.
+    mean = lambda model: data.mean_abs_at("up", model, 4.0)
+    assert mean("DEP+BURST") < mean("DEP")
+    assert mean("COOP+BURST") < mean("COOP")
+    assert mean("M+CRIT+BURST") < mean("M+CRIT")
+    assert mean("DEP") < mean("M+CRIT")
+    assert mean("COOP") < mean("M+CRIT")
+    assert mean("DEP+BURST") == min(
+        mean(m) for m in ("M+CRIT", "M+CRIT+BURST", "COOP", "COOP+BURST",
+                          "DEP", "DEP+BURST")
+    )
+    # Bands: M+CRIT large (paper 27%), DEP+BURST single-digit (paper 6%).
+    assert mean("M+CRIT") > 0.12
+    assert mean("DEP+BURST") < 0.10

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 3(b) (errors, base 4 GHz -> 3/2/1 GHz)."""
+
+from repro.experiments import fig3
+
+
+def test_fig3b(benchmark, runner, report_sink):
+    data = benchmark.pedantic(
+        fig3.collect, args=(runner,), rounds=1, iterations=1
+    )
+    results = fig3.run(runner)
+    report_sink.append(results[1].to_text())
+    print()
+    print(results[1].to_text())
+    mean = lambda model: data.mean_abs_at("down", model, 1.0)
+    # Downward prediction errors are larger than upward ones (the paper's
+    # scaling-component multiplication argument) and keep the ordering.
+    assert mean("M+CRIT") > data.mean_abs_at("up", "M+CRIT", 4.0)
+    assert mean("DEP+BURST") < mean("DEP") < mean("M+CRIT")
+    assert mean("M+CRIT+BURST") < mean("M+CRIT")
+    assert mean("COOP+BURST") < mean("COOP")
+    # Bands: paper reports 70% for M+CRIT and 8% for DEP+BURST.
+    assert mean("M+CRIT") > 0.25
+    assert mean("DEP+BURST") < 0.16

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 4 (across-epoch vs per-epoch CTP)."""
+
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark, runner, report_sink):
+    result = benchmark.pedantic(fig4.run, args=(runner,), rounds=1, iterations=1)
+    report_sink.append(result.to_text())
+    print()
+    print(result.to_text())
+
+    def parse(cell):
+        return float(cell.rstrip("%")) / 100.0
+
+    mean_row = next(row for row in result.rows if row[0] == "MEAN |err|")
+    up_across, up_per = parse(mean_row[1]), parse(mean_row[2])
+    down_across, down_per = parse(mean_row[3]), parse(mean_row[4])
+    # Algorithm 1's delta counters never hurt (per-epoch is an upper bound
+    # on predicted time) and clearly help where CTP errors compound — the
+    # 4 GHz -> 1 GHz direction, exactly where the paper's gap is largest.
+    assert down_across < down_per
+    assert up_across < 0.10 and down_across < 0.16

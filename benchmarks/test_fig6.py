@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 6 (energy manager savings at 5%/10%)."""
+
+from repro.experiments import fig6
+from repro.experiments.runner import ExperimentRunner
+
+
+def _group_saving(runner: ExperimentRunner, threshold: float, memory: bool):
+    names = (
+        runner.config.memory_intensive if memory
+        else runner.config.compute_intensive
+    )
+    savings = []
+    for name in names:
+        baseline = runner.fixed_run(name, 4.0)
+        managed = runner.managed_run(name, threshold)
+        savings.append(1.0 - managed.energy_j / baseline.energy_j)
+    return sum(savings) / len(savings)
+
+
+def test_fig6(benchmark, runner, report_sink):
+    results = benchmark.pedantic(fig6.run, args=(runner,), rounds=1, iterations=1)
+    for result in results:
+        report_sink.append(result.to_text())
+        print()
+        print(result.to_text())
+    # Shape: memory-intensive group saves substantially (paper 13%/19%),
+    # compute-intensive much less; wider threshold saves more; achieved
+    # slowdowns stay within ~1.5x of the bound.
+    save_mem_5 = _group_saving(runner, 0.05, memory=True)
+    save_mem_10 = _group_saving(runner, 0.10, memory=True)
+    save_cpu_10 = _group_saving(runner, 0.10, memory=False)
+    assert 0.06 < save_mem_5 < 0.20
+    assert 0.12 < save_mem_10 < 0.27
+    assert save_mem_10 > save_mem_5
+    assert save_cpu_10 < save_mem_10 / 2
+    for threshold in (0.05, 0.10):
+        for name in runner.config.benchmarks:
+            managed = runner.managed_run(name, threshold)
+            baseline = runner.fixed_run(name, 4.0)
+            slowdown = managed.total_ns / baseline.total_ns - 1.0
+            assert slowdown <= threshold * 1.5 + 0.01, (name, threshold, slowdown)

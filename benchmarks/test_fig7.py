@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 7 (dynamic manager vs static-optimal)."""
+
+from repro.energy.static_oracle import static_optimal
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, runner, report_sink):
+    results = benchmark.pedantic(fig7.run, args=(runner,), rounds=1, iterations=1)
+    for result in results:
+        report_sink.append(result.to_text())
+        print()
+        print(result.to_text())
+    # Shape: the dynamic manager is on par with the static-optimal oracle
+    # (paper: parity for compute-intensive, slightly better for
+    # memory-intensive). We accept a small band around parity.
+    for threshold in (0.05, 0.10):
+        deltas = []
+        for name in runner.config.memory_intensive:
+            baseline = runner.fixed_run(name, 4.0)
+            sweep = {
+                f: (runner.fixed_run(name, f).total_ns,
+                    runner.fixed_run(name, f).energy_j)
+                for f in runner.config.static_freqs_ghz
+            }
+            oracle = static_optimal(sweep, threshold, max_freq_ghz=4.0)
+            managed = runner.managed_run(name, threshold)
+            dynamic = 1.0 - managed.energy_j / baseline.energy_j
+            deltas.append(dynamic - oracle.energy_saving)
+        mean_delta = sum(deltas) / len(deltas)
+        assert -0.05 < mean_delta < 0.08, (threshold, deltas)

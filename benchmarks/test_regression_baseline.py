@@ -1,0 +1,58 @@
+"""Benchmark: regression baseline vs DEP+BURST (related work, Sec. VII.A).
+
+Leave-one-out evaluation: for each benchmark, an offline regression is
+trained on the 1 GHz -> 4 GHz pairs of the *other* benchmarks and used to
+predict the held-out one. The comparison shows why the paper argues for an
+analytical, synchronization-aware model: regression fits the average
+workload but has no way to express epoch structure, so its worst case is
+far worse than DEP+BURST's.
+"""
+
+from repro.common.tables import format_table
+from repro.core.predictors import make_predictor
+from repro.core.regression import RegressionPredictor, make_training_samples
+
+
+def leave_one_out(runner):
+    names = list(runner.config.benchmarks)
+    rows = []
+    reg_errors = []
+    dep_errors = []
+    depburst = make_predictor("DEP+BURST")
+    for held_out in names:
+        training = []
+        for name in names:
+            if name == held_out:
+                continue
+            base = runner.base_trace(name, 1.0)
+            actual = runner.fixed_run(name, 4.0).total_ns
+            training.append((base, 4.0, actual))
+        predictor = RegressionPredictor().fit(make_training_samples(training))
+        base = runner.base_trace(held_out, 1.0)
+        actual = runner.fixed_run(held_out, 4.0).total_ns
+        reg_err = predictor.predict_total_ns(base, 4.0) / actual - 1.0
+        dep_err = depburst.predict_total_ns(base, 4.0) / actual - 1.0
+        reg_errors.append(reg_err)
+        dep_errors.append(dep_err)
+        rows.append((held_out, f"{reg_err:+.1%}", f"{dep_err:+.1%}"))
+    mean_abs = lambda errs: sum(abs(e) for e in errs) / len(errs)
+    rows.append(
+        ("MEAN |err|", f"{mean_abs(reg_errors):.1%}", f"{mean_abs(dep_errors):.1%}")
+    )
+    return rows, mean_abs(reg_errors), mean_abs(dep_errors)
+
+
+def test_regression_baseline(benchmark, runner, report_sink):
+    rows, reg_mean, dep_mean = benchmark.pedantic(
+        leave_one_out, args=(runner,), rounds=1, iterations=1
+    )
+    text = format_table(
+        ["held-out benchmark", "regression (1->4)", "DEP+BURST (1->4)"],
+        rows,
+        title="[Related work] offline regression vs DEP+BURST "
+              "(leave-one-out)",
+    )
+    report_sink.append(text)
+    print()
+    print(text)
+    assert dep_mean < reg_mean

@@ -1,0 +1,29 @@
+"""Benchmark: sequential-predictor validation (paper Section II.A)."""
+
+from repro.experiments import sequential
+
+
+def test_sequential_models(benchmark, report_sink):
+    errors = benchmark.pedantic(sequential.collect, rounds=1, iterations=1)
+    result = sequential.run()
+    report_sink.append(result.to_text())
+    print()
+    print(result.to_text())
+
+    def err(bench, model):
+        return abs(errors[bench][model])
+
+    # compute: everyone exact.
+    for model in ("stall", "leading-loads", "crit"):
+        assert err("compute", model) < 0.01
+    # streaming: uniform latency -> leading loads close to CRIT.
+    assert abs(err("streaming", "leading-loads") - err("streaming", "crit")) < 0.08
+    # pointer chase: leading loads badly under-counts deep chains.
+    assert err("pointer_chase", "leading-loads") > err("pointer_chase", "crit") + 0.05
+    # bank conflicts: CRIT stays accurate where others drift.
+    assert err("bank_conflicts", "crit") <= err("bank_conflicts", "stall") + 0.01
+    # store heavy: every load-based model misses badly; +BURST repairs it.
+    assert err("store_heavy", "crit") > 0.15
+    assert err("store_heavy", "crit+burst") < 0.05
+    # mixed: +BURST strictly improves on CRIT.
+    assert err("mixed", "crit+burst") < err("mixed", "crit")

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table I (benchmark characteristics at 1 GHz)."""
+
+from repro.experiments import table1
+from repro.workloads.dacapo import TABLE1_EXPECTED
+
+
+def test_table1(benchmark, runner, report_sink):
+    result = benchmark.pedantic(
+        table1.run, args=(runner,), rounds=1, iterations=1
+    )
+    report_sink.append(result.to_text())
+    print()
+    print(result.to_text())
+    # Shape checks: every benchmark present, simulated execution times
+    # within 25% of the (scaled) paper values.
+    names = [row[0] for row in result.rows]
+    assert names == list(TABLE1_EXPECTED)
+    scale = runner.config.scale
+    for row in result.rows:
+        name = row[0]
+        simulated_ms = float(row[3])
+        paper_ms = TABLE1_EXPECTED[name].exec_time_ms * scale
+        assert abs(simulated_ms / paper_ms - 1) < 0.25, (
+            f"{name}: {simulated_ms} vs paper {paper_ms}"
+        )

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (simulated system parameters)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, report_sink):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    report_sink.append(result.to_text())
+    print()
+    print(result.to_text())
+    text = result.to_text()
+    for expected in ("4 cores", "125 MHz", "32 KB", "4 MB", "LRU"):
+        assert expected in text

@@ -1,0 +1,114 @@
+"""Per-core DVFS — the paper's stated future work, demonstrated.
+
+Section VII: "Prior work investigates the potential of per-core DVFS in
+managing the energy consumption of multithreaded applications. However, we
+leave this for future work." The simulator supports it: with
+``per_core_dvfs=True`` every segment is timed at the frequency of the core
+the thread occupies, and governors may return ``{core: GHz}`` maps.
+
+This demo runs a four-thread workload where thread 3 is strongly
+memory-bound (high per-thread memory skew). A per-core governor slows only
+that thread's core: the memory-bound thread barely notices, the
+compute-bound threads keep their full speed — the scenario chip-wide DVFS
+cannot express.
+
+Run:  python examples/per_core_dvfs.py
+"""
+
+from repro.common.tables import format_table
+from repro.sim.system import System
+from repro.sim.trace import EventKind
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    build_synthetic_program,
+)
+
+
+def make_workload():
+    return build_synthetic_program(
+        SyntheticWorkloadConfig(
+            name="skewed",
+            seed=99,
+            n_threads=4,
+            n_units=260,
+            unit_insns=120_000,
+            clusters_per_kinsn=1.2,
+            memory_skew=0.9,          # thread 3 very memory-bound
+            alloc_bytes_per_unit=0,   # keep GC out of the comparison
+            cs_probability=0.0,
+        )
+    )
+
+
+def slow_core_governor(core: int, freq_ghz: float):
+    """Switch one core down at the first quantum, then hold."""
+    fired = {"done": False}
+
+    def governor(record, trace):
+        if fired["done"]:
+            return None
+        fired["done"] = True
+        return {core: freq_ghz}
+
+    return governor
+
+
+def exit_times(trace):
+    return {
+        e.tid: e.time_ns
+        for e in trace.events
+        if e.kind is EventKind.EXIT and e.tid in trace.app_tids()
+        and e.detail != "teardown"
+    }
+
+
+def run(label, governor=None):
+    system = System(
+        make_workload(), governor=governor, freq_ghz=4.0,
+        quantum_ns=2.5e5, per_core_dvfs=True,
+    )
+    trace = system.run()
+    return label, trace
+
+
+def main() -> None:
+    baseline_label, baseline = run("all cores @ 4 GHz")
+    rows = []
+    base_exits = exit_times(baseline)
+    for core in (0, 3):
+        label, trace = run(
+            f"core {core} @ 2 GHz", slow_core_governor(core, 2.0)
+        )
+        exits = exit_times(trace)
+        slow = {
+            tid: exits[tid] / base_exits[tid] - 1.0 for tid in sorted(exits)
+        }
+        rows.append(
+            (
+                label,
+                f"{trace.total_ns / 1e6:.2f}",
+                f"{trace.total_ns / baseline.total_ns - 1:+.1%}",
+                ", ".join(f"t{tid} {value:+.0%}" for tid, value in slow.items()),
+            )
+        )
+    print(f"baseline ({baseline_label}): {baseline.total_ns / 1e6:.2f} ms\n")
+    print(
+        format_table(
+            ["scenario", "total (ms)", "slowdown", "per-thread slowdown"],
+            rows,
+            title="Per-core DVFS on a memory-skewed workload",
+        )
+    )
+    print(
+        "\nTwo per-core effects chip-wide DVFS cannot express: slowing the "
+        "compute-bound thread's core (core 0) stretches that thread ~2x "
+        "yet costs NOTHING overall — it was never critical, its slack "
+        "absorbs the slowdown. And even the *critical* memory-bound "
+        "thread's core (core 3) slows far less than the 2x clock ratio, "
+        "because its DRAM chains do not scale. Per-core DVFS harvests "
+        "both effects; the paper flags it as the natural next step."
+    )
+
+
+if __name__ == "__main__":
+    main()

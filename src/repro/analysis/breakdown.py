@@ -1,0 +1,124 @@
+"""Per-epoch prediction-error attribution.
+
+When a predictor misses, *where* did it miss? This module re-runs DEP's
+aggregation over the base-frequency epochs while pairing each epoch with
+the measured execution of the corresponding span at the target frequency —
+using the GC/app phase structure as alignment anchors is overkill; instead
+it reports, per epoch, the predicted duration and the epoch's composition
+(scaling vs CRIT vs store share), and ranks epochs by their contribution
+to the total predicted time. This is the tool that surfaced the store-burst
+and queueing effects while calibrating the reproduction, kept as part of
+the public API because any user tuning a workload model will need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import TraceError
+from repro.core.crit import crit_nonscaling
+from repro.core.dep import DepPredictor
+from repro.core.epochs import Epoch, extract_epochs
+from repro.core.model import NonScalingEstimator, decompose
+from repro.sim.trace import SimulationTrace
+
+
+@dataclass(frozen=True)
+class EpochContribution:
+    """One epoch's role in a prediction."""
+
+    index: int
+    start_ns: float
+    measured_ns: float
+    predicted_ns: float
+    during_gc: bool
+    #: Aggregate decomposition of the epoch's critical thread.
+    crit_ns: float
+    sqfull_ns: float
+
+    @property
+    def scaling_fraction(self) -> float:
+        """Share of the measured epoch the estimator calls scaling."""
+        if self.measured_ns <= 0:
+            return 0.0
+        nonscaling = min(self.crit_ns + self.sqfull_ns, self.measured_ns)
+        return 1.0 - nonscaling / self.measured_ns
+
+
+@dataclass
+class EpochErrorBreakdown:
+    """Predicted-time composition across all epochs of a run."""
+
+    base_freq_ghz: float
+    target_freq_ghz: float
+    contributions: List[EpochContribution]
+
+    @property
+    def total_measured_ns(self) -> float:
+        """Sum of measured epoch durations (= the covered span)."""
+        return sum(c.measured_ns for c in self.contributions)
+
+    @property
+    def total_predicted_ns(self) -> float:
+        """Sum of predicted epoch durations."""
+        return sum(c.predicted_ns for c in self.contributions)
+
+    def gc_split(self) -> Tuple[float, float]:
+        """(GC predicted ns, application predicted ns)."""
+        gc = sum(c.predicted_ns for c in self.contributions if c.during_gc)
+        return gc, self.total_predicted_ns - gc
+
+    def top_contributors(self, n: int = 10) -> List[EpochContribution]:
+        """Epochs contributing the most predicted time, descending."""
+        return sorted(
+            self.contributions, key=lambda c: c.predicted_ns, reverse=True
+        )[:n]
+
+    def speedup(self) -> float:
+        """Predicted whole-run speedup (measured / predicted)."""
+        predicted = self.total_predicted_ns
+        if predicted <= 0:
+            raise TraceError("prediction collapsed to zero time")
+        return self.total_measured_ns / predicted
+
+
+def epoch_error_breakdown(
+    trace: SimulationTrace,
+    target_freq_ghz: float,
+    estimator: Optional[NonScalingEstimator] = None,
+    across_epoch_ctp: bool = True,
+) -> EpochErrorBreakdown:
+    """Attribute a DEP-style prediction to individual epochs."""
+    estimator = estimator or crit_nonscaling
+    epochs = extract_epochs(trace.events)
+    if not epochs:
+        raise TraceError("trace has no epochs")
+    predictor = DepPredictor(
+        estimator=estimator, across_epoch_ctp=across_epoch_ctp
+    )
+    base = trace.base_freq_ghz
+    contributions: List[EpochContribution] = []
+    deltas: Dict[int, float] = {}
+    for epoch in epochs:
+        predicted = predictor.predict_epoch(
+            epoch, base, target_freq_ghz, deltas
+        )
+        crit = sum(c.crit_ns for c in epoch.thread_deltas.values())
+        sqfull = sum(c.sqfull_ns for c in epoch.thread_deltas.values())
+        contributions.append(
+            EpochContribution(
+                index=epoch.index,
+                start_ns=epoch.start_ns,
+                measured_ns=epoch.duration_ns,
+                predicted_ns=predicted,
+                during_gc=epoch.during_gc,
+                crit_ns=crit,
+                sqfull_ns=sqfull,
+            )
+        )
+    return EpochErrorBreakdown(
+        base_freq_ghz=base,
+        target_freq_ghz=target_freq_ghz,
+        contributions=contributions,
+    )

@@ -1,0 +1,84 @@
+"""Synchronization-based criticality stacks.
+
+Du Bois et al., *Criticality Stacks: Identifying Critical Threads in
+Parallel Programs using Synchronization Behavior* (ISCA 2013) — cited by
+the paper as the related thread-criticality work — attribute each instant
+of execution to the threads running at that instant: a span with ``k``
+threads on cores charges ``1/k`` of its length to each of them. A thread
+that frequently runs alone (everyone else waiting on it) accumulates a
+large share: it is critical.
+
+Our synchronization epochs carry exactly the needed information (the
+running set is constant within an epoch), so the stack is a fold over
+epochs. The stack explains *why* DEP's critical-thread prediction matters:
+the threads with the biggest criticality share are the ones whose scaling
+behaviour dominates total time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.common.errors import TraceError
+from repro.core.epochs import Epoch, extract_epochs
+from repro.sim.trace import SimulationTrace
+
+
+@dataclass(frozen=True)
+class CriticalityStack:
+    """Per-thread criticality shares of one run."""
+
+    #: Criticality time per tid, ns (sums to covered time).
+    shares_ns: Dict[int, float]
+    #: Time with no thread on a core (timer waits etc.).
+    idle_ns: float
+    total_ns: float
+
+    def share_of(self, tid: int) -> float:
+        """Thread ``tid``'s criticality as a fraction of total time."""
+        if self.total_ns <= 0:
+            return 0.0
+        return self.shares_ns.get(tid, 0.0) / self.total_ns
+
+    def ranked(self) -> Tuple[Tuple[int, float], ...]:
+        """(tid, fraction) pairs, most critical first."""
+        return tuple(
+            sorted(
+                ((tid, self.share_of(tid)) for tid in self.shares_ns),
+                key=lambda item: item[1],
+                reverse=True,
+            )
+        )
+
+    @property
+    def most_critical_tid(self) -> int:
+        """The thread with the largest criticality share."""
+        if not self.shares_ns:
+            raise TraceError("empty criticality stack")
+        return self.ranked()[0][0]
+
+
+def criticality_stack_from_epochs(
+    epochs: Sequence[Epoch], total_ns: float
+) -> CriticalityStack:
+    """Fold epochs into a criticality stack."""
+    shares: Dict[int, float] = {}
+    idle = 0.0
+    for epoch in epochs:
+        tids = epoch.active_tids
+        if not tids:
+            idle += epoch.duration_ns
+            continue
+        piece = epoch.duration_ns / len(tids)
+        for tid in tids:
+            shares[tid] = shares.get(tid, 0.0) + piece
+    return CriticalityStack(shares_ns=shares, idle_ns=idle, total_ns=total_ns)
+
+
+def criticality_stack(trace: SimulationTrace) -> CriticalityStack:
+    """Criticality stack of a completed simulation run."""
+    epochs = extract_epochs(trace.events)
+    if not epochs:
+        raise TraceError("trace has no epochs to attribute")
+    return criticality_stack_from_epochs(epochs, trace.total_ns)

@@ -1,0 +1,133 @@
+"""Trace-level statistics: what did this run actually do?
+
+Summarizes a :class:`~repro.sim.trace.SimulationTrace` into the quantities
+that explain predictor behaviour: how much synchronization there was (epoch
+population and lengths), how busy the cores were, where the non-scaling
+time lives (CRIT chains vs. store-queue stalls), and how the collector
+behaved (pause count/distribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.errors import TraceError
+from repro.arch.counters import CounterSet
+from repro.core.epochs import extract_epochs
+from repro.sim.trace import EventKind, SimulationTrace
+
+
+@dataclass
+class TraceStats:
+    """Headline statistics of one simulation run."""
+
+    program_name: str
+    total_ns: float
+    n_threads: int
+    n_app_threads: int
+    #: Aggregate counters across all threads.
+    totals: CounterSet
+    #: Synchronization epochs.
+    n_epochs: int
+    mean_epoch_ns: float
+    median_epoch_ns: float
+    #: Futex traffic.
+    futex_waits: int
+    futex_wakes: int
+    preemptions: int
+    #: Garbage collection.
+    gc_cycles: int
+    gc_time_ns: float
+    gc_pause_ns: List[float] = field(default_factory=list)
+    #: Per-thread busy time (tid -> active ns).
+    busy_by_thread: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def gc_fraction(self) -> float:
+        """Fraction of wall time inside stop-the-world collections."""
+        return self.gc_time_ns / self.total_ns if self.total_ns else 0.0
+
+    @property
+    def core_utilization(self) -> float:
+        """Mean busy fraction of a 4-core machine (can exceed 1 thread)."""
+        if not self.total_ns:
+            return 0.0
+        return self.totals.active_ns / (4 * self.total_ns)
+
+    @property
+    def crit_share(self) -> float:
+        """CRIT-visible memory latency as a share of busy time."""
+        if not self.totals.active_ns:
+            return 0.0
+        return self.totals.crit_ns / self.totals.active_ns
+
+    @property
+    def sqfull_share(self) -> float:
+        """Store-queue-full time as a share of busy time (BURST's input)."""
+        if not self.totals.active_ns:
+            return 0.0
+        return self.totals.sqfull_ns / self.totals.active_ns
+
+    def summary_rows(self) -> Tuple[Tuple[str, str], ...]:
+        """Rows for a report table."""
+        return (
+            ("program", self.program_name),
+            ("total time", f"{self.total_ns / 1e6:.2f} ms"),
+            ("threads (app)", f"{self.n_threads} ({self.n_app_threads})"),
+            ("core utilization", f"{self.core_utilization:.0%}"),
+            ("epochs", f"{self.n_epochs} "
+                       f"(mean {self.mean_epoch_ns / 1e3:.1f} us)"),
+            ("futex wait/wake", f"{self.futex_waits}/{self.futex_wakes}"),
+            ("preemptions", str(self.preemptions)),
+            ("GC", f"{self.gc_cycles} cycles, {self.gc_fraction:.1%} of time"),
+            ("CRIT share of busy", f"{self.crit_share:.1%}"),
+            ("SQ-full share of busy", f"{self.sqfull_share:.1%}"),
+        )
+
+
+def trace_stats(trace: SimulationTrace) -> TraceStats:
+    """Compute :class:`TraceStats` for a completed run."""
+    if trace.total_ns <= 0:
+        raise TraceError("trace has no duration; did the simulation run?")
+    totals = CounterSet()
+    busy: Dict[int, float] = {}
+    for tid, counters in trace.final_counters().items():
+        totals.add(counters)
+        busy[tid] = counters.active_ns
+    epochs = extract_epochs(trace.events)
+    durations = np.array([e.duration_ns for e in epochs]) if epochs else np.zeros(0)
+    waits = wakes = preempts = 0
+    gc_pauses: List[float] = []
+    gc_start = None
+    for event in trace.events:
+        if event.kind is EventKind.FUTEX_WAIT:
+            waits += 1
+        elif event.kind is EventKind.FUTEX_WAKE:
+            wakes += 1
+        elif event.kind is EventKind.PREEMPT:
+            preempts += 1
+        elif event.kind is EventKind.GC_START:
+            gc_start = event.time_ns
+        elif event.kind is EventKind.GC_END and gc_start is not None:
+            gc_pauses.append(event.time_ns - gc_start)
+            gc_start = None
+    return TraceStats(
+        program_name=trace.program_name,
+        total_ns=trace.total_ns,
+        n_threads=len(trace.threads),
+        n_app_threads=len(trace.app_tids()),
+        totals=totals,
+        n_epochs=len(epochs),
+        mean_epoch_ns=float(durations.mean()) if durations.size else 0.0,
+        median_epoch_ns=float(np.median(durations)) if durations.size else 0.0,
+        futex_waits=waits,
+        futex_wakes=wakes,
+        preemptions=preempts,
+        gc_cycles=trace.gc_cycles,
+        gc_time_ns=trace.gc_time_ns,
+        gc_pause_ns=gc_pauses,
+        busy_by_thread=busy,
+    )

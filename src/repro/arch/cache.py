@@ -1,0 +1,110 @@
+"""Set-associative cache with true-LRU replacement.
+
+The caches are used by the workload builders to turn synthetic access
+patterns into per-level miss profiles (the segment-level core model then
+only needs the resulting LLC-miss cluster structure). They are faithful
+set-associative LRU caches so the derived miss rates respond correctly to
+working-set size, stride, and sharing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.validation import check_positive, check_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+    #: Hit latency, in cycles of the clock domain the cache belongs to
+    #: (core clock for L1/L2, uncore clock for L3 — see MachineSpec).
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_positive("assoc", self.assoc)
+        check_power_of_two("line_bytes", self.line_bytes)
+        check_positive("latency_cycles", self.latency_cycles)
+        if self.size_bytes % (self.assoc * self.line_bytes) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"assoc*line ({self.assoc}*{self.line_bytes})"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.assoc * self.line_bytes)
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+
+class Cache:
+    """One level of set-associative, true-LRU, write-allocate cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        # One ordered dict per set: keys are tags, order is LRU -> MRU.
+        self._sets: Dict[int, "OrderedDict[int, None]"] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        """Invalidate all lines and zero the statistics."""
+        self._sets.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def _index_and_tag(self, addr: int) -> tuple:
+        line = addr // self.config.line_bytes
+        return line % self.config.n_sets, line // self.config.n_sets
+
+    def access(self, addr: int) -> bool:
+        """Access byte address ``addr``; return True on hit.
+
+        On a miss the line is installed, evicting the LRU line of the set if
+        the set is full (write-allocate for stores is the caller's policy:
+        both loads and stores go through this method).
+        """
+        index, tag = self._index_and_tag(addr)
+        lru_set = self._sets.get(index)
+        if lru_set is None:
+            lru_set = OrderedDict()
+            self._sets[index] = lru_set
+        if tag in lru_set:
+            lru_set.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        lru_set[tag] = None
+        if len(lru_set) > self.config.assoc:
+            lru_set.popitem(last=False)
+        return False
+
+    def contains(self, addr: int) -> bool:
+        """Return True if the line holding ``addr`` is resident (no update)."""
+        index, tag = self._index_and_tag(addr)
+        lru_set = self._sets.get(index)
+        return bool(lru_set) and tag in lru_set
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate over all accesses so far (0 if no accesses)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,175 @@
+"""Variable-latency DRAM model.
+
+CRIT exists because real memory systems serve requests with *variable*
+latency — row-buffer hits are fast, row conflicts are slow, and queueing at
+the memory controller adds more variance (Section II.A). This module models
+a multi-bank DRAM with an open-page policy and a small queueing component,
+so that the load-miss chains fed to the predictors carry realistic,
+non-uniform latencies.
+
+DRAM latency is expressed in nanoseconds and is *independent of core
+frequency*: this is the physical fact the whole scaling/non-scaling
+decomposition rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Timing and geometry parameters of the memory system."""
+
+    n_banks: int = 8
+    #: Latency of a row-buffer hit (already-open row), controller to data.
+    row_hit_ns: float = 32.0
+    #: Latency when the bank's row buffer is empty (closed row).
+    row_miss_ns: float = 52.0
+    #: Latency when another row is open and must be written back first.
+    row_conflict_ns: float = 72.0
+    #: Extra queueing delay per in-flight request ahead of this one.
+    queue_ns_per_request: float = 6.0
+    #: Rows per bank used for the synthetic address mapping.
+    rows_per_bank: int = 4096
+    #: Bytes per DRAM column burst (one cache line).
+    line_bytes: int = 64
+    #: Sustainable per-core drain interval for an isolated cache line of
+    #: store traffic (bandwidth-bound, used by the store-queue model).
+    store_line_drain_ns: float = 12.0
+    #: Relative DRAM latency increase per GHz of core frequency above
+    #: 1 GHz: faster cores issue misses at a higher rate, deepening the
+    #: controller queues. This is *actual* machine behaviour the predictors
+    #: cannot observe from base-frequency counters — one of the honest
+    #: residual error sources of every model, including DEP+BURST.
+    queue_freq_sensitivity_per_ghz: float = 0.025
+
+    def __post_init__(self) -> None:
+        check_positive("n_banks", self.n_banks)
+        check_positive("row_hit_ns", self.row_hit_ns)
+        check_positive("row_miss_ns", self.row_miss_ns)
+        check_positive("row_conflict_ns", self.row_conflict_ns)
+        check_non_negative("queue_ns_per_request", self.queue_ns_per_request)
+        check_positive("rows_per_bank", self.rows_per_bank)
+        check_positive("line_bytes", self.line_bytes)
+        check_positive("store_line_drain_ns", self.store_line_drain_ns)
+
+
+class DramModel:
+    """Stateful open-page DRAM: maps addresses to banks/rows, tracks open rows.
+
+    The model is deterministic given the sequence of accessed line addresses,
+    which lets workload builders pre-draw per-access latencies once and reuse
+    them for simulations at every frequency (the latencies must not change
+    with core frequency).
+    """
+
+    def __init__(self, config: Optional[DramConfig] = None) -> None:
+        self.config = config or DramConfig()
+        self._open_rows: List[Optional[int]] = [None] * self.config.n_banks
+        self._pending: int = 0
+
+    def reset(self) -> None:
+        """Close all row buffers and clear the controller queue."""
+        self._open_rows = [None] * self.config.n_banks
+        self._pending = 0
+
+    def _bank_and_row(self, line_addr: int) -> tuple:
+        bank = line_addr % self.config.n_banks
+        row = (line_addr // self.config.n_banks) % self.config.rows_per_bank
+        return bank, row
+
+    def access(self, line_addr: int) -> float:
+        """Serve one cache-line read; return its latency in nanoseconds.
+
+        Updates the open-row state so subsequent same-row accesses hit the
+        row buffer.
+        """
+        cfg = self.config
+        bank, row = self._bank_and_row(line_addr)
+        open_row = self._open_rows[bank]
+        if open_row == row:
+            latency = cfg.row_hit_ns
+        elif open_row is None:
+            latency = cfg.row_miss_ns
+        else:
+            latency = cfg.row_conflict_ns
+        self._open_rows[bank] = row
+        latency += self._pending * cfg.queue_ns_per_request
+        return latency
+
+    def begin_burst(self, in_flight: int) -> None:
+        """Mark ``in_flight`` other requests as queued ahead (MLP pressure)."""
+        check_non_negative("in_flight", in_flight)
+        self._pending = int(in_flight)
+
+    def end_burst(self) -> None:
+        """Clear queueing pressure after a burst of parallel requests."""
+        self._pending = 0
+
+    def sample_chain_latencies(
+        self,
+        rng: np.random.Generator,
+        depths: np.ndarray,
+        locality: float = 0.5,
+    ) -> np.ndarray:
+        """Draw total latencies for many dependent chains at once (fast path).
+
+        Statistical, *stateless* counterpart of :meth:`sample_chain_latency`
+        used by bulk workload builders: each access in a chain is a
+        row-buffer hit with probability ``locality`` and otherwise a
+        row miss or row conflict (3:5 split, matching what the stateful
+        walk converges to for scattered traffic), plus an exponential
+        controller-queueing term with mean ``queue_ns_per_request``.
+
+        ``depths`` is an integer array (one chain depth per cluster);
+        returns one total chain latency per cluster. Consumes ``rng``
+        deterministically.
+        """
+        depths = np.asarray(depths, dtype=np.int64)
+        if depths.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if depths.min() <= 0:
+            raise ValueError("chain depths must be positive")
+        cfg = self.config
+        total = int(depths.sum())
+        draw = rng.random(total)
+        p_miss = locality + (1.0 - locality) * 0.375
+        lat = np.where(
+            draw < locality,
+            cfg.row_hit_ns,
+            np.where(draw < p_miss, cfg.row_miss_ns, cfg.row_conflict_ns),
+        )
+        if cfg.queue_ns_per_request > 0:
+            lat = lat + rng.exponential(cfg.queue_ns_per_request, total)
+        # Sum per chain.
+        boundaries = np.zeros(depths.size, dtype=np.int64)
+        np.cumsum(depths[:-1], out=boundaries[1:])
+        return np.add.reduceat(lat, boundaries)
+
+    def sample_chain_latency(
+        self, rng: np.random.Generator, depth: int, locality: float = 0.5
+    ) -> float:
+        """Draw the total latency of a dependent chain of ``depth`` misses.
+
+        ``locality`` is the probability that consecutive chain accesses land
+        in the same row (a pointer chase through a freshly-allocated nursery
+        has high locality; a scattered object graph has low locality).
+        Used by workload builders; consumes ``rng`` deterministically.
+        """
+        check_positive("depth", depth)
+        total = 0.0
+        prev_line: Optional[int] = None
+        for _ in range(depth):
+            if prev_line is not None and rng.random() < locality:
+                line = prev_line + 1
+            else:
+                line = int(rng.integers(0, self.config.n_banks * self.config.rows_per_bank * 8))
+            total += self.access(line)
+            prev_line = line
+        return total

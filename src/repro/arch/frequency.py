@@ -1,0 +1,122 @@
+"""DVFS domains: set points, validation, transition accounting.
+
+The paper studies chip-wide DVFS (all cores share one frequency) with
+125 MHz steps between 1 and 4 GHz and a 2 µs transition cost; per-core
+DVFS is explicitly left as future work (Section VII). The domain object
+supports both: the default is the paper's chip-wide mode, and
+``per_core=True`` gives each core its own set point (the simulator times
+each segment at the frequency of the core the thread occupies).
+
+The domain validates requested frequencies against the machine's set
+points and tracks the number of transitions plus the total time lost to
+them, which the energy manager charges against the running application.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.arch.specs import MachineSpec
+
+
+class DvfsDomain:
+    """The frequency domain(s) of the chip's cores."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        initial_freq_ghz: float = None,
+        per_core: bool = False,
+    ) -> None:
+        self.spec = spec
+        self.per_core = per_core
+        self._set_points: Tuple[float, ...] = spec.frequencies()
+        if initial_freq_ghz is None:
+            initial_freq_ghz = spec.max_freq_ghz
+        self._current = self.validate(initial_freq_ghz)
+        self._core_freqs: Optional[List[float]] = (
+            [self._current] * spec.n_cores if per_core else None
+        )
+        self.transitions = 0
+        self.transition_time_ns = 0.0
+
+    @property
+    def set_points(self) -> Tuple[float, ...]:
+        """All supported frequencies, ascending."""
+        return self._set_points
+
+    @property
+    def current_freq_ghz(self) -> float:
+        """The chip-wide frequency; in per-core mode, the fastest core's."""
+        if self._core_freqs is not None:
+            return max(self._core_freqs)
+        return self._current
+
+    def frequency_of(self, core: Optional[int]) -> float:
+        """The frequency of ``core`` (chip frequency in chip-wide mode).
+
+        ``core=None`` (a thread not currently placed) reads the chip-wide
+        value.
+        """
+        if self._core_freqs is None or core is None:
+            return self.current_freq_ghz
+        if not 0 <= core < self.spec.n_cores:
+            raise ConfigError(f"core {core} out of range")
+        return self._core_freqs[core]
+
+    def set_core_frequency(self, core: int, freq_ghz: float) -> float:
+        """Per-core mode: switch one core; return its transition cost in ns."""
+        if self._core_freqs is None:
+            raise ConfigError(
+                "set_core_frequency requires a per-core DVFS domain"
+            )
+        if not 0 <= core < self.spec.n_cores:
+            raise ConfigError(f"core {core} out of range")
+        target = self.validate(freq_ghz)
+        if target == self._core_freqs[core]:
+            return 0.0
+        self._core_freqs[core] = target
+        self.transitions += 1
+        self.transition_time_ns += self.spec.dvfs_transition_ns
+        return self.spec.dvfs_transition_ns
+
+    def validate(self, freq_ghz: float) -> float:
+        """Return the exact set point equal to ``freq_ghz`` or raise.
+
+        A tolerance of 0.5 MHz absorbs float formatting noise; anything
+        further from a set point is a caller bug.
+        """
+        for point in self._set_points:
+            if abs(point - freq_ghz) < 5e-4:
+                return point
+        raise ConfigError(
+            f"{freq_ghz} GHz is not a DVFS set point of this machine "
+            f"({self._set_points[0]}..{self._set_points[-1]} GHz in "
+            f"{self.spec.freq_step_ghz * 1000:.0f} MHz steps)"
+        )
+
+    def nearest(self, freq_ghz: float) -> float:
+        """Return the closest supported set point to ``freq_ghz``."""
+        return min(self._set_points, key=lambda point: abs(point - freq_ghz))
+
+    def set_frequency(self, freq_ghz: float) -> float:
+        """Switch the whole chip to ``freq_ghz``; return the cost in ns.
+
+        Switching to the current frequency is free (no transition happens).
+        In per-core mode this sets every core at once (one transition).
+        """
+        target = self.validate(freq_ghz)
+        if self._core_freqs is not None:
+            if all(f == target for f in self._core_freqs):
+                return 0.0
+            self._core_freqs = [target] * self.spec.n_cores
+            self.transitions += 1
+            self.transition_time_ns += self.spec.dvfs_transition_ns
+            return self.spec.dvfs_transition_ns
+        if target == self._current:
+            return 0.0
+        self._current = target
+        self.transitions += 1
+        self.transition_time_ns += self.spec.dvfs_transition_ns
+        return self.spec.dvfs_transition_ns

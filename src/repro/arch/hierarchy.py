@@ -1,0 +1,112 @@
+"""Three-level cache hierarchy and miss-profile extraction.
+
+Workload builders describe memory behaviour as access *patterns* (working-set
+size, stride, random fraction). :class:`CacheHierarchy` simulates a sampled
+address stream through L1D/L2/L3 to produce a :class:`MissProfile` — the
+per-level hit distribution — which the builders then convert into the
+LLC-miss cluster structure consumed by the segment-level core model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.validation import check_fraction, check_positive
+from repro.arch.cache import Cache, CacheConfig
+
+
+@dataclass(frozen=True)
+class MissProfile:
+    """Fraction of memory accesses served by each level of the hierarchy.
+
+    Fractions sum to 1 (within float error): ``l1 + l2 + l3 + dram == 1``.
+    """
+
+    l1: float
+    l2: float
+    l3: float
+    dram: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("l1", self.l1), ("l2", self.l2),
+                            ("l3", self.l3), ("dram", self.dram)):
+            check_fraction(name, value)
+        total = self.l1 + self.l2 + self.l3 + self.dram
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"miss profile fractions sum to {total}, expected 1")
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """Fraction of accesses that miss all caches and go to DRAM."""
+        return self.dram
+
+
+class CacheHierarchy:
+    """L1D -> L2 -> L3 inclusive lookup chain."""
+
+    def __init__(self, l1d: CacheConfig, l2: CacheConfig, l3: CacheConfig) -> None:
+        self.l1d = Cache(l1d)
+        self.l2 = Cache(l2)
+        self.l3 = Cache(l3)
+
+    def reset(self) -> None:
+        """Invalidate all levels."""
+        self.l1d.reset()
+        self.l2.reset()
+        self.l3.reset()
+
+    def access(self, addr: int) -> str:
+        """Access ``addr``; return the level that served it.
+
+        Returns one of ``"l1" | "l2" | "l3" | "dram"``. Lower levels are
+        filled on a miss (inclusive hierarchy).
+        """
+        if self.l1d.access(addr):
+            return "l1"
+        if self.l2.access(addr):
+            return "l2"
+        if self.l3.access(addr):
+            return "l3"
+        return "dram"
+
+    def profile_pattern(
+        self,
+        rng: np.random.Generator,
+        working_set_bytes: int,
+        stride_bytes: int = 64,
+        random_fraction: float = 0.0,
+        n_samples: int = 20_000,
+        warmup: int = 4_000,
+    ) -> MissProfile:
+        """Derive a :class:`MissProfile` for a synthetic access pattern.
+
+        The pattern walks a ``working_set_bytes`` region with ``stride_bytes``
+        strides; with probability ``random_fraction`` an access jumps to a
+        uniformly random location in the region instead. ``warmup`` accesses
+        prime the caches before counting begins.
+        """
+        check_positive("working_set_bytes", working_set_bytes)
+        check_positive("stride_bytes", stride_bytes)
+        check_fraction("random_fraction", random_fraction)
+        check_positive("n_samples", n_samples)
+        self.reset()
+        counts = {"l1": 0, "l2": 0, "l3": 0, "dram": 0}
+        pos = 0
+        for i in range(warmup + n_samples):
+            if random_fraction and rng.random() < random_fraction:
+                addr = int(rng.integers(0, working_set_bytes))
+            else:
+                pos = (pos + stride_bytes) % working_set_bytes
+                addr = pos
+            level = self.access(addr)
+            if i >= warmup:
+                counts[level] += 1
+        total = float(n_samples)
+        return MissProfile(
+            l1=counts["l1"] / total,
+            l2=counts["l2"] / total,
+            l3=counts["l3"] / total,
+            dram=counts["dram"] / total,
+        )

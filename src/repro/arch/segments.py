@@ -1,0 +1,141 @@
+"""Timed work segments — the leaf units the core timing model executes.
+
+A workload (see :mod:`repro.workloads`) eventually decomposes into a
+per-thread sequence of three segment kinds:
+
+* :class:`ComputeSegment` — pure pipeline work, scales with frequency;
+* :class:`MemorySegment` — pipeline work punctuated by LLC-miss *clusters*,
+  each a dependent chain of DRAM accesses with a pre-drawn total latency
+  (frequency-invariant);
+* :class:`StoreBurstSegment` — a burst of store misses (zero-initialization
+  or GC copying) whose wall time is governed by the store-queue fluid model.
+
+Segments carry all frequency-*independent* information; the core model
+turns a ``(segment, frequency)`` pair into wall time plus counter
+increments. Because a segment is re-timed at every simulated frequency,
+:class:`MemorySegment` stores its cluster population as a NumPy array of
+chain latencies (plus the pre-summed leading-load latency) rather than a
+list of objects — the timing hot path is then two vectorized expressions.
+:class:`MissCluster` remains as the convenient scalar construction unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.validation import check_positive
+
+_EMPTY_CHAINS = np.zeros(0, dtype=np.float64)
+_EMPTY_CHAINS.setflags(write=False)
+
+
+@dataclass(frozen=True)
+class ComputeSegment:
+    """A run of ``insns`` instructions at ``cpi`` cycles per instruction."""
+
+    insns: int
+    cpi: float
+
+    def __post_init__(self) -> None:
+        check_positive("insns", self.insns)
+        check_positive("cpi", self.cpi)
+
+
+@dataclass(frozen=True)
+class MissCluster:
+    """A dependent chain of ``depth`` LLC misses totalling ``chain_ns``.
+
+    ``chain_ns`` is the accumulated latency of the chain's critical path
+    through DRAM (what CRIT's counter is designed to measure); independent
+    misses overlapped within the cluster do not extend it.
+    """
+
+    depth: int
+    chain_ns: float
+
+    def __post_init__(self) -> None:
+        check_positive("depth", self.depth)
+        check_positive("chain_ns", self.chain_ns)
+
+    @property
+    def leading_ns(self) -> float:
+        """The leading-loads approximation: one representative miss latency."""
+        return self.chain_ns / self.depth
+
+
+@dataclass(frozen=True, eq=False)
+class MemorySegment:
+    """Compute work interleaved with LLC-miss clusters.
+
+    ``chain_ns`` holds one dependent-chain latency per cluster;
+    ``leading_total_ns`` is the pre-summed leading-loads contribution
+    (one representative miss latency per cluster).
+    """
+
+    insns: int
+    cpi: float
+    chain_ns: np.ndarray
+    leading_total_ns: float
+
+    def __post_init__(self) -> None:
+        check_positive("insns", self.insns)
+        check_positive("cpi", self.cpi)
+        chains = np.asarray(self.chain_ns, dtype=np.float64)
+        if chains.ndim != 1:
+            raise ConfigError("chain_ns must be a 1-D array of latencies")
+        if chains.size and float(chains.min()) <= 0.0:
+            raise ConfigError("all chain latencies must be positive")
+        if self.leading_total_ns < 0:
+            raise ConfigError("leading_total_ns must be >= 0")
+        if chains.size == 0 and self.leading_total_ns != 0.0:
+            raise ConfigError("leading_total_ns must be 0 with no clusters")
+        chains.setflags(write=False)
+        object.__setattr__(self, "chain_ns", chains)
+        object.__setattr__(self, "_total_chain_ns", float(chains.sum()))
+
+    @classmethod
+    def from_clusters(
+        cls, insns: int, cpi: float, clusters: Sequence[MissCluster] = ()
+    ) -> "MemorySegment":
+        """Build from scalar :class:`MissCluster` objects (tests, examples)."""
+        if clusters:
+            chains = np.array([c.chain_ns for c in clusters], dtype=np.float64)
+            leading = float(sum(c.leading_ns for c in clusters))
+        else:
+            chains = _EMPTY_CHAINS
+            leading = 0.0
+        return cls(insns=insns, cpi=cpi, chain_ns=chains, leading_total_ns=leading)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of LLC-miss clusters."""
+        return int(self.chain_ns.size)
+
+    @property
+    def total_chain_ns(self) -> float:
+        """Sum of all clusters' dependent-chain latencies (CRIT's counter)."""
+        return self._total_chain_ns  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class StoreBurstSegment:
+    """A burst of ``n_stores`` store misses draining at a memory-bound rate.
+
+    ``drain_ns_per_store`` reflects coalescing: sequential zero-init stores
+    share cache lines and drain faster per store than scattered GC-copy
+    stores.
+    """
+
+    n_stores: int
+    drain_ns_per_store: float
+
+    def __post_init__(self) -> None:
+        check_positive("n_stores", self.n_stores)
+        check_positive("drain_ns_per_store", self.drain_ns_per_store)
+
+
+Segment = Union[ComputeSegment, MemorySegment, StoreBurstSegment]

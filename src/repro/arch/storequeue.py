@@ -1,0 +1,113 @@
+"""Fluid model of the store queue, and the SQ-full counter (BURST's input).
+
+Section III.D: isolated store misses are not on the critical path — the
+store queue buffers them, loads bypass, and commit continues. But *bursts*
+of stores (zero-initialization of fresh allocations, GC copying) fill the
+store queue; once it is full and the next instruction to commit is a store,
+commit stalls. The time the store queue is full does not scale with
+frequency (the drain rate is memory-bound), yet CRIT attributes it to the
+scaling component — that mis-attribution is exactly what the BURST term
+corrects.
+
+This module models a burst of ``n`` store-misses hitting an initially-empty
+store queue of ``Q`` entries as a fluid process:
+
+* stores are produced (issued/committed by the core) at rate
+  ``r = store_issue_per_cycle * f`` stores/ns — this scales with frequency;
+* stores are drained (retired by the memory hierarchy) at a fixed rate of
+  one store per ``d`` ns — this does not scale.
+
+If ``r <= 1/d`` the queue never fills and the burst is pure scaling time.
+Otherwise the queue fills after ``t_fill = Q / (r - 1/d)`` ns; from then on
+the core is throttled to the drain rate and the SQ-full signal is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StoreQueueConfig:
+    """Store-queue geometry (Haswell has 42 store-buffer entries)."""
+
+    entries: int = 42
+
+    def __post_init__(self) -> None:
+        check_positive("entries", self.entries)
+
+
+@dataclass(frozen=True)
+class StoreBurstTiming:
+    """Timing decomposition of one store burst at one frequency.
+
+    Attributes
+    ----------
+    wall_ns:
+        Total wall-clock time the core spends on the burst.
+    issue_ns:
+        Time the burst would take if the queue never filled
+        (``n / r`` — the frequency-scaling part).
+    sq_full_ns:
+        Time the store-queue-full signal is raised (the paper's new
+        performance counter; ``wall_ns - time to fill the queue``).
+    stalled:
+        True if the queue filled during this burst.
+    """
+
+    wall_ns: float
+    issue_ns: float
+    sq_full_ns: float
+    stalled: bool
+
+    def __post_init__(self) -> None:
+        if self.wall_ns + 1e-12 < self.issue_ns:
+            raise ValueError(
+                f"wall time {self.wall_ns} smaller than issue time {self.issue_ns}"
+            )
+
+
+class StoreQueueModel:
+    """Closed-form fluid model of a store burst through the store queue."""
+
+    def __init__(self, config: StoreQueueConfig, store_issue_per_cycle: float) -> None:
+        check_positive("store_issue_per_cycle", store_issue_per_cycle)
+        self.config = config
+        self.store_issue_per_cycle = store_issue_per_cycle
+
+    def burst(self, n_stores: int, drain_ns_per_store: float,
+              freq_ghz: float) -> StoreBurstTiming:
+        """Time a burst of ``n_stores`` store-misses at ``freq_ghz``.
+
+        ``drain_ns_per_store`` is the memory-bound retire interval per store
+        (coalesced sequential zero-init drains faster per store than
+        scattered GC-copy stores).
+        """
+        check_positive("n_stores", n_stores)
+        check_positive("drain_ns_per_store", drain_ns_per_store)
+        check_positive("freq_ghz", freq_ghz)
+        produce_rate = self.store_issue_per_cycle * freq_ghz  # stores per ns
+        drain_rate = 1.0 / drain_ns_per_store
+        issue_ns = n_stores / produce_rate
+        if produce_rate <= drain_rate:
+            # The queue never grows; the burst is pure core-speed time.
+            return StoreBurstTiming(
+                wall_ns=issue_ns, issue_ns=issue_ns, sq_full_ns=0.0, stalled=False
+            )
+        fill_ns = self.config.entries / (produce_rate - drain_rate)
+        if issue_ns <= fill_ns:
+            # The burst ends before the queue fills: no commit stall. The
+            # residual queue occupancy drains underneath subsequent work.
+            return StoreBurstTiming(
+                wall_ns=issue_ns, issue_ns=issue_ns, sq_full_ns=0.0, stalled=False
+            )
+        # Queue fills at fill_ns; the remaining stores enter at drain rate.
+        issued_at_fill = produce_rate * fill_ns
+        remaining = n_stores - issued_at_fill
+        full_ns = remaining * drain_ns_per_store
+        wall_ns = fill_ns + full_ns
+        return StoreBurstTiming(
+            wall_ns=wall_ns, issue_ns=issue_ns, sq_full_ns=full_ns, stalled=True
+        )

@@ -1,0 +1,47 @@
+"""Shared infrastructure: units, errors, deterministic RNG, validation, tables.
+
+Conventions used throughout the code base (see :mod:`repro.common.units`):
+
+* time is expressed in **nanoseconds** (``float``),
+* frequency in **GHz** (so ``cycles = time_ns * freq_ghz``),
+* energy in **joules**, power in **watts**,
+* memory sizes in **bytes**.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from repro.common.rng import rng_stream
+from repro.common.units import (
+    GHZ,
+    MHZ,
+    cycles_to_ns,
+    ns_to_cycles,
+    ns_to_ms,
+    ns_to_s,
+    ms_to_ns,
+    s_to_ns,
+    us_to_ns,
+)
+
+__all__ = [
+    "ConfigError",
+    "PredictionError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "rng_stream",
+    "GHZ",
+    "MHZ",
+    "cycles_to_ns",
+    "ns_to_cycles",
+    "ns_to_ms",
+    "ns_to_s",
+    "ms_to_ns",
+    "s_to_ns",
+    "us_to_ns",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library problems without masking
+programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state.
+
+    Examples: a thread blocking while holding the scheduler in an
+    inconsistent state, a deadlock among simulated threads, or an event
+    scheduled in the past.
+    """
+
+
+class TraceError(ReproError):
+    """A simulation trace is malformed or inconsistent.
+
+    Raised by the epoch decomposition and the predictors when the futex or
+    interval records they consume violate their invariants (e.g. epochs out
+    of order, a thread active in an epoch without counter samples).
+    """
+
+
+class PredictionError(ReproError):
+    """A DVFS predictor was asked something it cannot answer.
+
+    Examples: predicting for a frequency outside the supported DVFS range,
+    or invoking a managed-runtime-specific predictor on a trace that lacks
+    garbage-collection phase markers.
+    """

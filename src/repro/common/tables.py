@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness regenerates the paper's tables and figures as text.
+This module provides a dependency-free fixed-width table renderer plus a
+small horizontal bar chart used to mimic the paper's figures in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+    align_right: bool = True,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table.
+
+    Cell values are converted with ``str``; floats should be pre-formatted by
+    the caller so each experiment controls its own precision.
+    """
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {ncols}: {row!r}"
+            )
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_cell(text: str, width: int, right: bool) -> str:
+        return text.rjust(width) if right else text.ljust(width)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        fmt_cell(header, widths[i], False) for i, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(
+                fmt_cell(cell, widths[i], align_right and i > 0)
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (used for figure-style output).
+
+    Negative values draw to the left of a zero axis so signed prediction
+    errors remain legible.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title
+    max_abs = max(abs(v) for v in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar_len = int(round(abs(value) / max_abs * width))
+        bar = ("-" if value < 0 else "+") * bar_len
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:+.1f}{unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Small argument-validation helpers used by configuration dataclasses."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.common.errors import ConfigError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ConfigError(message)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate that ``value`` is strictly positive; return it."""
+    if value <= 0:
+        raise ConfigError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate that ``value`` is >= 0; return it."""
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in [0, 1]; return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Validate that ``value`` is a positive power of two; return it."""
+    if value <= 0 or value & (value - 1) != 0:
+        raise ConfigError(f"{name} must be a positive power of two, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: object, allowed: Iterable[object]) -> object:
+    """Validate that ``value`` is one of ``allowed``; return it."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_sorted(name: str, values: Sequence[float]) -> Sequence[float]:
+    """Validate that ``values`` is non-decreasing; return it."""
+    for left, right in zip(values, values[1:]):
+        if right < left:
+            raise ConfigError(f"{name} must be sorted non-decreasing, got {values!r}")
+    return values

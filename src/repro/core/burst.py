@@ -1,0 +1,28 @@
+"""BURST: add store-queue-full time to the non-scaling component.
+
+Section III.D: store bursts (zero-initialization, GC copying) fill the
+store queue; once it is full, commit stalls at the memory-bound drain rate.
+That time does not scale with frequency, but CRIT attributes it to the
+scaling component because stores are off its critical path. BURST reads
+the paper's proposed per-core performance counter — time the store queue
+is full — and moves that time into the non-scaling component.
+
+``with_burst`` lifts any non-scaling estimator into its +BURST variant, so
+M+CRIT, COOP and DEP all gain store-burst awareness the same way the paper
+evaluates them.
+"""
+
+from __future__ import annotations
+
+from repro.arch.counters import CounterSet
+from repro.core.model import NonScalingEstimator
+
+
+def with_burst(estimator: NonScalingEstimator) -> NonScalingEstimator:
+    """Return ``estimator`` augmented with the store-queue-full counter."""
+
+    def burst_estimator(counters: CounterSet) -> float:
+        return estimator(counters) + counters.sqfull_ns
+
+    burst_estimator.__name__ = f"{getattr(estimator, '__name__', 'estimator')}+burst"
+    return burst_estimator

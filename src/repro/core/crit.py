@@ -1,0 +1,25 @@
+"""CRIT: critical path through dependent long-latency misses (Section II.A).
+
+CRIT [Miftakhutdinov et al., MICRO 2012] observes that long-latency load
+misses come in clusters whose members may *depend* on each other (pointer
+chases) and may have *variable* latencies. It tracks the dependence chains
+and accumulates the latency of the critical path through each cluster —
+the best available approximation of the truly non-scaling memory time for
+a single thread. The paper uses CRIT as the per-thread estimator inside
+every multithreaded predictor; so do we.
+
+In our substrate, the core model maintains ``crit_ns`` exactly as CRIT's
+bookkeeping would: the summed dependent-chain DRAM latency of every miss
+cluster, regardless of how much of it was hidden by out-of-order overlap.
+Stores never contribute (CRIT assumes they are off the critical path) —
+the omission BURST repairs.
+"""
+
+from __future__ import annotations
+
+from repro.arch.counters import CounterSet
+
+
+def crit_nonscaling(counters: CounterSet) -> float:
+    """Non-scaling estimate: CRIT's accumulated critical-path latency."""
+    return counters.crit_ns

@@ -1,0 +1,110 @@
+"""Synchronization-epoch decomposition (Section III.B).
+
+DEP decomposes execution time into epochs delimited by futex activity:
+a new epoch begins whenever a thread goes to sleep or a sleeping/new
+thread is scheduled onto a core. Within an epoch, the set of threads on
+cores is constant, and each running thread's counter deltas over the epoch
+give its scaling/non-scaling split.
+
+:func:`extract_epochs` replays a trace's boundary events and emits
+:class:`Epoch` records. The extractor works equally on a whole trace and
+on an interval slice whose first element is the interval's boundary marker
+(the energy manager's per-quantum use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.common.errors import TraceError
+from repro.arch.counters import CounterSet
+from repro.sim.trace import EventKind, TraceEvent
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One synchronization epoch."""
+
+    index: int
+    start_ns: float
+    end_ns: float
+    #: Counter deltas over the epoch for each thread that was on a core.
+    thread_deltas: Mapping[int, CounterSet]
+    #: The thread whose going-to-sleep closed the epoch, if any
+    #: (Algorithm 1's ``stall_tid``).
+    stall_tid: Optional[int]
+    #: True if a collection cycle was in progress during this epoch.
+    during_gc: bool
+
+    @property
+    def duration_ns(self) -> float:
+        """Measured epoch length at the base frequency."""
+        return self.end_ns - self.start_ns
+
+    @property
+    def active_tids(self) -> Tuple[int, ...]:
+        """Tids on cores during the epoch, ascending."""
+        return tuple(sorted(self.thread_deltas))
+
+
+def extract_epochs(events: Sequence[TraceEvent]) -> List[Epoch]:
+    """Decompose ``events`` into synchronization epochs.
+
+    Zero-length spans between coincident events update the running-set
+    state but do not produce epochs. Spans during which no thread runs
+    (everyone asleep) produce epochs with empty ``thread_deltas``; their
+    duration is frequency-invariant (timer waits).
+    """
+    epochs: List[Epoch] = []
+    open_time: Optional[float] = None
+    open_running: Tuple[int, ...] = ()
+    open_snapshots: Dict[int, CounterSet] = {}
+    gc_depth = 0
+    for event in events:
+        if not event.kind.is_epoch_boundary:
+            continue
+        if open_time is not None and event.time_ns > open_time + 1e-9:
+            deltas: Dict[int, CounterSet] = {}
+            for tid in open_running:
+                start = open_snapshots.get(tid)
+                end = event.snapshots.get(tid)
+                if start is None:
+                    raise TraceError(
+                        f"thread {tid} ran during epoch at {open_time} "
+                        "without an opening snapshot"
+                    )
+                if end is None:
+                    raise TraceError(
+                        f"thread {tid} ran during epoch ending at "
+                        f"{event.time_ns} without a closing snapshot"
+                    )
+                deltas[tid] = end.delta_since(start)
+            stall_tid = (
+                event.tid
+                if event.kind is EventKind.FUTEX_WAIT and event.tid >= 0
+                else None
+            )
+            epochs.append(
+                Epoch(
+                    index=len(epochs),
+                    start_ns=open_time,
+                    end_ns=event.time_ns,
+                    thread_deltas=deltas,
+                    stall_tid=stall_tid,
+                    during_gc=gc_depth > 0,
+                )
+            )
+        if event.kind is EventKind.GC_START:
+            gc_depth += 1
+        elif event.kind is EventKind.GC_END:
+            gc_depth = max(0, gc_depth - 1)
+        open_time = event.time_ns
+        open_running = event.running_after
+        open_snapshots = dict(event.snapshots)
+    return epochs
+
+
+def total_epoch_time(epochs: Sequence[Epoch]) -> float:
+    """Sum of epoch durations (equals the covered trace span)."""
+    return sum(epoch.duration_ns for epoch in epochs)

@@ -1,0 +1,17 @@
+"""The leading-loads model (Section II.A).
+
+For a cluster of simultaneous long-latency load misses, the model charges
+the full latency of the *leading* miss and assumes the rest of the cluster
+hides behind it. That is a good approximation when all misses have similar
+latency; variable-latency memory systems (row conflicts, queueing) break
+the assumption, which is what CRIT later fixed.
+"""
+
+from __future__ import annotations
+
+from repro.arch.counters import CounterSet
+
+
+def leading_loads_nonscaling(counters: CounterSet) -> float:
+    """Non-scaling estimate: accumulated leading-load latencies."""
+    return counters.leading_ns

@@ -1,0 +1,54 @@
+"""M+CRIT: the naive multithreaded extension of CRIT (Section II.C).
+
+M+CRIT applies CRIT to each application thread over its whole lifetime and
+declares the thread with the longest *predicted* time critical; its
+predicted time is the application's predicted time.
+
+The flaw the paper dissects: a thread's lifetime includes the time it spent
+asleep — waiting for locks, barriers, and stop-the-world collections. CRIT
+knows nothing about sleep, so all of that waiting lands in the scaling
+component and is divided by the frequency ratio, which is wildly wrong for
+synchronization-heavy managed workloads. We implement the model faithfully,
+including the flaw.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import PredictionError
+from repro.core.model import NonScalingEstimator, decompose
+from repro.core.crit import crit_nonscaling
+from repro.core.timeline import CounterTimeline
+from repro.sim.trace import SimulationTrace
+
+
+class MCritPredictor:
+    """Per-thread CRIT over full lifetimes; total = slowest predicted thread."""
+
+    def __init__(self, estimator: NonScalingEstimator = crit_nonscaling,
+                 name: str = "M+CRIT") -> None:
+        self.estimator = estimator
+        self.name = name
+
+    def predict_total_ns(
+        self,
+        trace: SimulationTrace,
+        target_freq_ghz: float,
+        base_freq_ghz: Optional[float] = None,
+    ) -> float:
+        """Predicted end-to-end execution time at ``target_freq_ghz``."""
+        base = base_freq_ghz if base_freq_ghz is not None else trace.base_freq_ghz
+        timeline = CounterTimeline(trace)
+        app_tids = trace.app_tids()
+        if not app_tids:
+            raise PredictionError("trace has no application threads")
+        predicted = 0.0
+        for tid in app_tids:
+            wall = timeline.lifetime_ns(tid)
+            counters = timeline.final_counters(tid)
+            decomposition = decompose(wall, counters, self.estimator)
+            predicted = max(
+                predicted, decomposition.predict_ns(base, target_freq_ghz)
+            )
+        return predicted

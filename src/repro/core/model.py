@@ -1,0 +1,67 @@
+"""Scaling/non-scaling arithmetic shared by all predictors.
+
+Every DVFS predictor in the paper rests on one identity (Section II.A):
+execution time splits into a *scaling* component (pipeline work, inversely
+proportional to frequency) and a *non-scaling* component (memory time,
+fixed in nanoseconds):
+
+    T(f_target) = T_scaling(f_base) * f_base / f_target  +  T_nonscaling
+
+Predictors differ only in how they estimate ``T_nonscaling`` from hardware
+counters; given an estimate, everything else is this module's arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import PredictionError
+from repro.arch.counters import CounterSet
+
+#: Signature of a non-scaling estimator: counters -> non-scaling ns.
+NonScalingEstimator = Callable[[CounterSet], float]
+
+
+@dataclass(frozen=True)
+class TimeDecomposition:
+    """One thread's (or epoch's) time split at the base frequency."""
+
+    scaling_ns: float
+    nonscaling_ns: float
+
+    def __post_init__(self) -> None:
+        if self.scaling_ns < 0 or self.nonscaling_ns < 0:
+            raise PredictionError(
+                f"negative decomposition: scaling={self.scaling_ns}, "
+                f"nonscaling={self.nonscaling_ns}"
+            )
+
+    @property
+    def total_ns(self) -> float:
+        """Measured wall time at the base frequency."""
+        return self.scaling_ns + self.nonscaling_ns
+
+    def predict_ns(self, base_freq_ghz: float, target_freq_ghz: float) -> float:
+        """Predicted wall time at ``target_freq_ghz``."""
+        if base_freq_ghz <= 0 or target_freq_ghz <= 0:
+            raise PredictionError(
+                f"frequencies must be positive ({base_freq_ghz} -> {target_freq_ghz})"
+            )
+        return self.scaling_ns * base_freq_ghz / target_freq_ghz + self.nonscaling_ns
+
+
+def decompose(
+    wall_ns: float, counters: CounterSet, estimator: NonScalingEstimator
+) -> TimeDecomposition:
+    """Split ``wall_ns`` using ``estimator``'s non-scaling estimate.
+
+    The estimate is clamped to ``[0, wall_ns]``: a hardware counter can
+    legitimately report more accumulated memory latency than wall time
+    (overlapped chains counted in full), but no predictor treats more than
+    the whole measured time as non-scaling.
+    """
+    if wall_ns < 0:
+        raise PredictionError(f"negative wall time {wall_ns}")
+    nonscaling = min(max(estimator(counters), 0.0), wall_ns)
+    return TimeDecomposition(scaling_ns=wall_ns - nonscaling, nonscaling_ns=nonscaling)

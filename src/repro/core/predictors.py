@@ -1,0 +1,127 @@
+"""Predictor registry and factory.
+
+The evaluation compares six multithreaded predictors — M+CRIT, COOP and
+DEP, each with and without BURST (Figure 3) — plus DEP+BURST with per-epoch
+CTP (Figure 4). :func:`make_predictor` builds any of them by name;
+:func:`predictor_names` lists the canonical evaluation order.
+
+A :class:`SequentialPredictor` is also provided for single-threaded traces,
+exposing the three sequential models (stall time, leading loads, CRIT) the
+multithreaded predictors build upon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol
+
+from repro.common.errors import PredictionError
+from repro.core.burst import with_burst
+from repro.core.coop import CoopPredictor
+from repro.core.crit import crit_nonscaling
+from repro.core.dep import DepPredictor
+from repro.core.leadingloads import leading_loads_nonscaling
+from repro.core.mcrit import MCritPredictor
+from repro.core.model import NonScalingEstimator, decompose
+from repro.core.stalltime import stall_time_nonscaling
+from repro.core.timeline import CounterTimeline
+from repro.sim.trace import SimulationTrace
+
+
+class Predictor(Protocol):
+    """Common interface of all multithreaded DVFS predictors."""
+
+    name: str
+
+    def predict_total_ns(
+        self,
+        trace: SimulationTrace,
+        target_freq_ghz: float,
+        base_freq_ghz: Optional[float] = None,
+    ) -> float:
+        """Predicted end-to-end execution time at the target frequency."""
+
+
+#: Canonical evaluation order of Figure 3.
+_EVALUATION_ORDER = (
+    "M+CRIT",
+    "M+CRIT+BURST",
+    "COOP",
+    "COOP+BURST",
+    "DEP",
+    "DEP+BURST",
+)
+
+_SEQUENTIAL_ESTIMATORS: Dict[str, NonScalingEstimator] = {
+    "stall": stall_time_nonscaling,
+    "leading-loads": leading_loads_nonscaling,
+    "crit": crit_nonscaling,
+}
+
+
+def predictor_names() -> List[str]:
+    """Predictor names in the paper's evaluation order."""
+    return list(_EVALUATION_ORDER)
+
+
+def make_predictor(
+    name: str,
+    across_epoch_ctp: bool = True,
+    estimator: NonScalingEstimator = crit_nonscaling,
+) -> Predictor:
+    """Build a predictor by its paper name (e.g. ``"DEP+BURST"``).
+
+    ``across_epoch_ctp`` selects DEP's critical-thread policy (Figure 4);
+    ``estimator`` swaps the per-thread sequential model (CRIT by default).
+    """
+    canonical = name.strip().upper()
+    burst = canonical.endswith("+BURST")
+    if burst:
+        canonical = canonical[: -len("+BURST")]
+    chosen = with_burst(estimator) if burst else estimator
+    display = f"{canonical}+BURST" if burst else canonical
+    if canonical == "M+CRIT":
+        return MCritPredictor(estimator=chosen, name=display)
+    if canonical == "COOP":
+        return CoopPredictor(estimator=chosen, name=display)
+    if canonical == "DEP":
+        return DepPredictor(
+            estimator=chosen, across_epoch_ctp=across_epoch_ctp, name=display
+        )
+    raise PredictionError(
+        f"unknown predictor {name!r}; expected one of {predictor_names()}"
+    )
+
+
+class SequentialPredictor:
+    """Single-thread DVFS prediction with a chosen sequential model."""
+
+    def __init__(self, model: str = "crit", burst: bool = False) -> None:
+        if model not in _SEQUENTIAL_ESTIMATORS:
+            raise PredictionError(
+                f"unknown sequential model {model!r}; "
+                f"expected one of {sorted(_SEQUENTIAL_ESTIMATORS)}"
+            )
+        estimator = _SEQUENTIAL_ESTIMATORS[model]
+        self.estimator = with_burst(estimator) if burst else estimator
+        self.name = model + ("+burst" if burst else "")
+
+    def predict_total_ns(
+        self,
+        trace: SimulationTrace,
+        target_freq_ghz: float,
+        base_freq_ghz: Optional[float] = None,
+    ) -> float:
+        """Predicted execution time of a single-application-thread trace."""
+        app_tids = trace.app_tids()
+        if len(app_tids) != 1:
+            raise PredictionError(
+                f"SequentialPredictor needs exactly one application thread, "
+                f"trace has {len(app_tids)}"
+            )
+        base = base_freq_ghz if base_freq_ghz is not None else trace.base_freq_ghz
+        timeline = CounterTimeline(trace)
+        tid = app_tids[0]
+        decomposition = decompose(
+            timeline.lifetime_ns(tid), timeline.final_counters(tid), self.estimator
+        )
+        return decomposition.predict_ns(base, target_freq_ghz)

@@ -1,0 +1,155 @@
+"""Offline-trained regression baseline (related work, Section VII.A).
+
+The paper contrasts analytical DVFS predictors with *regression models*
+"built by offline training to predict the power and performance impact of
+frequency ... leveraging existing hardware performance counters". This
+module implements that class of predictor so the comparison can be run:
+
+* a run is summarized into counter-derived **features** (CRIT share,
+  store-queue-full share, commit-stall share, normalized IPC, GC share);
+* training pairs ``(base trace, measured time at another frequency)`` are
+  converted into the *effective scaling fraction* the pair implies;
+* ordinary least squares fits the scaling fraction from the features;
+* prediction applies the fitted fraction through the usual
+  scaling/non-scaling formula.
+
+The structural weakness the paper points out is visible in the results:
+one whole-run feature vector cannot express synchronization structure, so
+the regression behaves like a well-tuned M+CRIT — decent on homogeneous
+workloads, wrong where epochs and critical threads matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import PredictionError
+from repro.sim.trace import SimulationTrace
+
+#: Feature vector layout (index -> meaning), for diagnostics.
+FEATURE_NAMES = (
+    "bias",
+    "crit_share",
+    "sqfull_share",
+    "stall_share",
+    "ipc_norm",
+    "gc_share",
+)
+
+
+def features_of(trace: SimulationTrace) -> np.ndarray:
+    """Whole-run counter features of a base-frequency trace."""
+    totals = None
+    for counters in trace.final_counters().values():
+        totals = counters if totals is None else totals + counters
+    if totals is None or totals.active_ns <= 0:
+        raise PredictionError("trace carries no counter activity")
+    busy = totals.active_ns
+    ipc = totals.insns / (busy * trace.base_freq_ghz)  # insns per cycle
+    return np.array(
+        [
+            1.0,
+            min(totals.crit_ns / busy, 2.0),
+            min(totals.sqfull_ns / busy, 1.0),
+            min(totals.stall_ns / busy, 1.0),
+            min(ipc / 4.0, 1.0),
+            min(trace.gc_time_ns / trace.total_ns, 1.0) if trace.total_ns else 0.0,
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class TrainingSample:
+    """One observed (base run, target frequency, measured time) triple."""
+
+    features: np.ndarray
+    base_freq_ghz: float
+    target_freq_ghz: float
+    base_total_ns: float
+    target_total_ns: float
+
+    def implied_scaling_fraction(self) -> float:
+        """The scaling fraction that would make the prediction exact.
+
+        From ``T_t/T_b = s * f_b/f_t + (1 - s)`` solve for ``s``; requires
+        distinct frequencies.
+        """
+        ratio = self.base_freq_ghz / self.target_freq_ghz
+        if abs(ratio - 1.0) < 1e-9:
+            raise PredictionError(
+                "training pair must use two distinct frequencies"
+            )
+        time_ratio = self.target_total_ns / self.base_total_ns
+        return (time_ratio - 1.0) / (ratio - 1.0)
+
+
+class RegressionPredictor:
+    """Least-squares scaling-fraction regression over counter features."""
+
+    name = "REGRESSION"
+
+    def __init__(self) -> None:
+        self._weights: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._weights is not None
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Fitted coefficients (order of :data:`FEATURE_NAMES`)."""
+        if self._weights is None:
+            raise PredictionError("regression predictor is not fitted")
+        return self._weights
+
+    def fit(self, samples: Sequence[TrainingSample]) -> "RegressionPredictor":
+        """Fit the scaling-fraction regression; returns self."""
+        if len(samples) < 2:
+            raise PredictionError(
+                f"need at least 2 training samples, got {len(samples)}"
+            )
+        design = np.stack([sample.features for sample in samples])
+        targets = np.array(
+            [sample.implied_scaling_fraction() for sample in samples]
+        )
+        self._weights, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        return self
+
+    def scaling_fraction(self, trace: SimulationTrace) -> float:
+        """Predicted scaling fraction of a run, clamped to [0, 1]."""
+        value = float(features_of(trace) @ self.weights)
+        return min(max(value, 0.0), 1.0)
+
+    def predict_total_ns(
+        self,
+        trace: SimulationTrace,
+        target_freq_ghz: float,
+        base_freq_ghz: Optional[float] = None,
+    ) -> float:
+        """Predicted end-to-end time at ``target_freq_ghz``."""
+        base = base_freq_ghz if base_freq_ghz is not None else trace.base_freq_ghz
+        fraction = self.scaling_fraction(trace)
+        ratio = base / target_freq_ghz
+        return trace.total_ns * (fraction * ratio + (1.0 - fraction))
+
+
+def make_training_samples(
+    runs: Sequence[Tuple[SimulationTrace, float, float]],
+) -> List[TrainingSample]:
+    """Build samples from ``(base trace, target freq, measured target ns)``."""
+    samples = []
+    for trace, target_freq, target_ns in runs:
+        samples.append(
+            TrainingSample(
+                features=features_of(trace),
+                base_freq_ghz=trace.base_freq_ghz,
+                target_freq_ghz=target_freq,
+                base_total_ns=trace.total_ns,
+                target_total_ns=target_ns,
+            )
+        )
+    return samples

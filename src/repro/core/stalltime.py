@@ -1,0 +1,17 @@
+"""The stall-time model (Section II.A).
+
+The simplest sequential DVFS predictor estimates the non-scaling component
+as the time the pipeline could not commit instructions. It systematically
+*underestimates* non-scaling time because independent instructions commit
+underneath an outstanding miss — the counter only starts once commit truly
+stops — so performance at higher frequencies is overestimated.
+"""
+
+from __future__ import annotations
+
+from repro.arch.counters import CounterSet
+
+
+def stall_time_nonscaling(counters: CounterSet) -> float:
+    """Non-scaling estimate of the stall-time model: exposed commit stalls."""
+    return counters.stall_ns

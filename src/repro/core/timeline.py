@@ -1,0 +1,80 @@
+"""Per-thread counter timelines reconstructed from a trace.
+
+M+CRIT and COOP do not use epochs; they need each thread's cumulative
+counters at arbitrary instants (phase boundaries, spawn/exit). A trace only
+snapshots counters at events, so this module rebuilds, per thread, the
+time-ordered snapshot list and answers point queries with the most recent
+snapshot at or before the queried time — exact whenever the thread was
+asleep at that instant (its counters cannot have advanced), and accurate to
+a partial segment otherwise.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import TraceError
+from repro.arch.counters import CounterSet
+from repro.sim.trace import EventKind, SimulationTrace
+
+
+class CounterTimeline:
+    """Point-in-time counter queries over one simulation trace."""
+
+    def __init__(self, trace: SimulationTrace) -> None:
+        self._times: Dict[int, List[float]] = {}
+        self._snaps: Dict[int, List[CounterSet]] = {}
+        self._spawn: Dict[int, float] = {}
+        self._exit: Dict[int, float] = {}
+        for event in trace.events:
+            if event.kind is EventKind.SPAWN:
+                self._spawn.setdefault(event.tid, event.time_ns)
+            elif event.kind is EventKind.EXIT:
+                # Keep the first exit (teardown re-emits for service threads).
+                self._exit.setdefault(event.tid, event.time_ns)
+            for tid, counters in event.snapshots.items():
+                self._times.setdefault(tid, []).append(event.time_ns)
+                self._snaps.setdefault(tid, []).append(counters)
+        self.total_ns = trace.total_ns
+
+    def spawn_time(self, tid: int) -> float:
+        """When ``tid`` was created (0.0 if it existed from the start)."""
+        return self._spawn.get(tid, 0.0)
+
+    def exit_time(self, tid: int) -> float:
+        """When ``tid`` finished (trace end if it never exited)."""
+        return self._exit.get(tid, self.total_ns)
+
+    def lifetime_ns(self, tid: int) -> float:
+        """Wall time between spawn and exit."""
+        return self.exit_time(tid) - self.spawn_time(tid)
+
+    def counters_at(self, tid: int, time_ns: float) -> CounterSet:
+        """Cumulative counters of ``tid`` at ``time_ns`` (latest <= query)."""
+        times = self._times.get(tid)
+        if not times:
+            raise TraceError(f"no counter snapshots recorded for thread {tid}")
+        idx = bisect.bisect_right(times, time_ns) - 1
+        if idx < 0:
+            return CounterSet()
+        return self._snaps[tid][idx]
+
+    def final_counters(self, tid: int) -> CounterSet:
+        """Cumulative counters at the thread's last snapshot."""
+        snaps = self._snaps.get(tid)
+        if not snaps:
+            raise TraceError(f"no counter snapshots recorded for thread {tid}")
+        return snaps[-1]
+
+    def delta(self, tid: int, start_ns: float, end_ns: float) -> CounterSet:
+        """Counter increments of ``tid`` over ``[start_ns, end_ns]``."""
+        if end_ns < start_ns:
+            raise TraceError(f"bad window [{start_ns}, {end_ns}]")
+        return self.counters_at(tid, end_ns).delta_since(
+            self.counters_at(tid, start_ns)
+        )
+
+    def tids(self) -> Tuple[int, ...]:
+        """All threads with at least one snapshot."""
+        return tuple(sorted(self._times))

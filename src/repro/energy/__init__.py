@@ -1,0 +1,35 @@
+"""Energy substrate: V/f table, power model, accounting, energy manager.
+
+The paper's case study (Section VI) wraps DEP+BURST in an energy manager
+that picks, every 5 ms quantum, the lowest frequency whose predicted
+slowdown against the highest frequency stays within a user-specified
+threshold. This package provides:
+
+* :mod:`~repro.energy.vftable` — an i7-4770K-like voltage/frequency curve
+  at 125 MHz granularity;
+* :mod:`~repro.energy.power` — a McPAT-like chip power model
+  (dynamic ``C·V²·f·activity``, voltage-dependent leakage, uncore/DRAM);
+* :mod:`~repro.energy.account` — integrates power over a simulation's
+  interval records into energy;
+* :mod:`~repro.energy.manager` — the DVFS governor of Figure 5;
+* :mod:`~repro.energy.static_oracle` — the static-optimal oracle of
+  Figure 7.
+"""
+
+from repro.energy.account import EnergyReport, compute_energy
+from repro.energy.manager import EnergyManager, ManagerConfig
+from repro.energy.power import PowerModel, PowerModelConfig
+from repro.energy.static_oracle import StaticOracleResult, static_optimal
+from repro.energy.vftable import VfTable
+
+__all__ = [
+    "EnergyManager",
+    "EnergyReport",
+    "ManagerConfig",
+    "PowerModel",
+    "PowerModelConfig",
+    "StaticOracleResult",
+    "VfTable",
+    "compute_energy",
+    "static_optimal",
+]

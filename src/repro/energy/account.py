@@ -1,0 +1,61 @@
+"""Energy accounting: integrate the power model over a simulation trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import TraceError
+from repro.arch.specs import MachineSpec
+from repro.energy.power import PowerModel
+from repro.sim.trace import SimulationTrace
+
+
+@dataclass
+class EnergyReport:
+    """Energy of one run, per interval and total."""
+
+    total_j: float
+    per_interval_j: List[float]
+    total_ns: float
+
+    @property
+    def avg_power_w(self) -> float:
+        """Mean chip+DRAM power over the run."""
+        seconds = self.total_ns * 1e-9
+        return self.total_j / seconds if seconds else 0.0
+
+
+def compute_energy(
+    trace: SimulationTrace,
+    spec: MachineSpec,
+    power_model: Optional[PowerModel] = None,
+) -> EnergyReport:
+    """Energy of a completed run from its interval records.
+
+    Each interval carries the frequency it ran at and the counter deltas of
+    every thread; the power model converts those into joules. Requires the
+    trace to cover its whole duration with intervals (the simulator always
+    closes a final partial interval).
+    """
+    model = power_model or PowerModel(spec)
+    if not trace.intervals:
+        raise TraceError("trace has no interval records; cannot account energy")
+    per_interval: List[float] = []
+    covered = 0.0
+    for record in trace.intervals:
+        counters = record.aggregate()
+        energy = model.interval_energy_j(
+            counters, record.duration_ns, record.freq_ghz
+        )
+        per_interval.append(energy)
+        covered += record.duration_ns
+    if covered < trace.total_ns - 1.0:
+        raise TraceError(
+            f"intervals cover {covered} ns of a {trace.total_ns} ns run"
+        )
+    return EnergyReport(
+        total_j=sum(per_interval),
+        per_interval_j=per_interval,
+        total_ns=trace.total_ns,
+    )

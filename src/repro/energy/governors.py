@@ -1,0 +1,106 @@
+"""Baseline OS-style DVFS governors.
+
+The paper's energy manager is predictor-driven: it *knows* (predicts) what
+a frequency change will cost before making it. Real operating systems ship
+much simpler policies; implementing them gives the comparison every DVFS
+paper gets asked for:
+
+* :class:`PerformanceGovernor` — pin the maximum frequency;
+* :class:`PowersaveGovernor` — pin the minimum frequency;
+* :class:`OndemandGovernor` — the classic utilization feedback loop: raise
+  to a high frequency when core utilization exceeds ``up_threshold``,
+  otherwise step down proportionally. No prediction, no performance
+  guarantee — which is exactly what the comparison shows: ondemand either
+  wastes energy (it cannot tell memory stalls from useful work, both look
+  "busy") or breaks the slowdown budget, depending on tuning.
+
+All governors match the simulator's governor interface
+``(IntervalRecord, SimulationTrace) -> Optional[float]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.errors import ConfigError
+from repro.arch.specs import MachineSpec
+from repro.sim.intervals import IntervalRecord
+from repro.sim.trace import SimulationTrace
+
+
+class PerformanceGovernor:
+    """Always the highest frequency (the evaluation baseline)."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    def __call__(
+        self, record: IntervalRecord, trace: SimulationTrace
+    ) -> Optional[float]:
+        """Keep (or restore) the maximum frequency."""
+        if record.freq_ghz != self.spec.max_freq_ghz:
+            return self.spec.max_freq_ghz
+        return None
+
+
+class PowersaveGovernor:
+    """Always the lowest frequency."""
+
+    def __init__(self, spec: MachineSpec) -> None:
+        self.spec = spec
+
+    def __call__(
+        self, record: IntervalRecord, trace: SimulationTrace
+    ) -> Optional[float]:
+        """Keep (or restore) the minimum frequency."""
+        if record.freq_ghz != self.spec.min_freq_ghz:
+            return self.spec.min_freq_ghz
+        return None
+
+
+class OndemandGovernor:
+    """Linux-ondemand-style utilization feedback.
+
+    Utilization of an interval is busy core time over capacity. Above
+    ``up_threshold`` the governor jumps straight to the maximum frequency
+    (ondemand's signature move); below it, it picks the lowest frequency
+    that would have kept utilization just under the threshold
+    (``f_next = f_cur * util / up_threshold``), as the real governor does.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        up_threshold: float = 0.85,
+    ) -> None:
+        if not 0.0 < up_threshold <= 1.0:
+            raise ConfigError(
+                f"up_threshold must be in (0, 1], got {up_threshold}"
+            )
+        self.spec = spec
+        self.up_threshold = up_threshold
+        self.decisions: List[float] = []
+
+    def _utilization(self, record: IntervalRecord) -> float:
+        capacity = self.spec.n_cores * record.duration_ns
+        if capacity <= 0:
+            return 0.0
+        return min(record.busy_core_ns / capacity, 1.0)
+
+    def __call__(
+        self, record: IntervalRecord, trace: SimulationTrace
+    ) -> Optional[float]:
+        """One feedback step on the finished interval."""
+        utilization = self._utilization(record)
+        if utilization >= self.up_threshold:
+            target = self.spec.max_freq_ghz
+        else:
+            ideal = record.freq_ghz * utilization / self.up_threshold
+            candidates = [
+                f for f in self.spec.frequencies() if f >= ideal
+            ]
+            target = candidates[0] if candidates else self.spec.max_freq_ghz
+        self.decisions.append(target)
+        if target != record.freq_ghz:
+            return target
+        return None

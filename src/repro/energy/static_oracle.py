@@ -1,0 +1,70 @@
+"""The static-optimal oracle (paper Section VI.B, Figure 7).
+
+Static-optimal is obtained by running the application once per fixed
+frequency and picking, in hindsight, the frequency that minimizes energy
+while keeping the whole-run slowdown (vs. the highest frequency) within
+the threshold. Because it uses the very runs it is judged on, the paper
+treats it as an oracle; a dynamic manager can only beat it by exploiting
+*phase behaviour* — running memory-bound stretches slower and compute
+stretches faster than any single static point could.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StaticOracleResult:
+    """The oracle's choice for one application and threshold."""
+
+    freq_ghz: float
+    energy_j: float
+    total_ns: float
+    #: Whole-run slowdown vs. the highest frequency.
+    slowdown: float
+    #: Energy saving vs. running at the highest frequency.
+    energy_saving: float
+
+
+def static_optimal(
+    runs: Mapping[float, Tuple[float, float]],
+    tolerable_slowdown: float,
+    max_freq_ghz: float,
+) -> StaticOracleResult:
+    """Pick the minimum-energy fixed frequency within the slowdown bound.
+
+    ``runs`` maps frequency (GHz) to ``(total_ns, energy_j)`` from
+    ground-truth fixed-frequency simulations; it must include the highest
+    frequency, which anchors the slowdown and saving baselines.
+    """
+    if max_freq_ghz not in runs:
+        raise ConfigError(
+            f"runs must include the baseline frequency {max_freq_ghz} GHz"
+        )
+    if tolerable_slowdown < 0:
+        raise ConfigError("tolerable_slowdown must be >= 0")
+    base_ns, base_j = runs[max_freq_ghz]
+    best: StaticOracleResult = StaticOracleResult(
+        freq_ghz=max_freq_ghz,
+        energy_j=base_j,
+        total_ns=base_ns,
+        slowdown=0.0,
+        energy_saving=0.0,
+    )
+    for freq_ghz, (total_ns, energy_j) in sorted(runs.items()):
+        slowdown = total_ns / base_ns - 1.0
+        if slowdown > tolerable_slowdown:
+            continue
+        if energy_j < best.energy_j:
+            best = StaticOracleResult(
+                freq_ghz=freq_ghz,
+                energy_j=energy_j,
+                total_ns=total_ns,
+                slowdown=slowdown,
+                energy_saving=1.0 - energy_j / base_j,
+            )
+    return best

@@ -1,0 +1,56 @@
+"""Voltage/frequency operating points (i7-4770K-like, 22 nm).
+
+The paper uses the voltage settings of Intel's Haswell i7-4770K with a
+125 MHz frequency step (Section IV). Haswell's published operating range
+runs from roughly 0.70 V near 800 MHz to about 1.10 V at 3.9-4 GHz; we
+interpolate linearly between 0.725 V @ 1 GHz and 1.10 V @ 4 GHz, which
+matches the table's published subset closely enough for energy-trend
+reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.common.errors import ConfigError
+from repro.arch.specs import MachineSpec
+
+
+class VfTable:
+    """Maps every DVFS set point to its supply voltage."""
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        v_at_min: float = 0.725,
+        v_at_max: float = 1.10,
+    ) -> None:
+        if v_at_min <= 0 or v_at_max < v_at_min:
+            raise ConfigError(
+                f"invalid voltage range [{v_at_min}, {v_at_max}]"
+            )
+        self.spec = spec
+        self.v_at_min = v_at_min
+        self.v_at_max = v_at_max
+        self._table: Dict[float, float] = {}
+        f_lo, f_hi = spec.min_freq_ghz, spec.max_freq_ghz
+        span = f_hi - f_lo
+        for freq in spec.frequencies():
+            alpha = (freq - f_lo) / span if span else 0.0
+            self._table[freq] = v_at_min + alpha * (v_at_max - v_at_min)
+
+    def voltage(self, freq_ghz: float) -> float:
+        """Supply voltage (V) at set point ``freq_ghz``."""
+        voltage = self._table.get(round(freq_ghz, 6))
+        if voltage is None:
+            # Tolerate float formatting noise only — anything further from
+            # a set point is a caller bug.
+            for point, volt in self._table.items():
+                if abs(point - freq_ghz) < 1e-6:
+                    return volt
+            raise ConfigError(f"{freq_ghz} GHz is not a DVFS set point")
+        return voltage
+
+    def rows(self) -> Tuple[Tuple[float, float], ...]:
+        """(frequency GHz, voltage V) pairs, ascending frequency."""
+        return tuple(sorted(self._table.items()))

@@ -1,0 +1,98 @@
+"""Command-line entry point: regenerate all (or selected) experiments.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments                 # everything, REPRO_SCALE honoured
+    repro-experiments fig3 fig6      # a subset
+    REPRO_SCALE=0.3 repro-experiments table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, List
+
+from repro.experiments import (
+    fig1,
+    fig3,
+    fig4,
+    fig6,
+    fig7,
+    sensitivity,
+    sequential,
+    table1,
+    table2,
+)
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import ExperimentRunner, get_runner
+
+_EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "sequential": sequential.run,
+    "fig1": fig1.run,
+    "fig3": fig3.run,
+    "sensitivity": sensitivity.run,
+    "fig4": fig4.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+}
+
+#: Order that maximizes ground-truth cache reuse.
+_DEFAULT_ORDER = (
+    "table2", "table1", "sequential", "fig1", "fig3", "sensitivity",
+    "fig4", "fig6", "fig7",
+)
+
+
+def _as_results(value) -> List[ExperimentResult]:
+    if isinstance(value, ExperimentResult):
+        return [value]
+    return list(value)
+
+
+def run_experiments(
+    names: Iterable[str], runner: ExperimentRunner
+) -> List[ExperimentResult]:
+    """Run the named experiments; return their results in order."""
+    results: List[ExperimentResult] = []
+    for name in names:
+        runner_fn = _EXPERIMENTS.get(name)
+        if runner_fn is None:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
+            )
+        results.extend(_as_results(runner_fn(runner)))
+    return results
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(_DEFAULT_ORDER),
+        help=f"subset of {sorted(_EXPERIMENTS)} (default: all)",
+    )
+    args = parser.parse_args(argv)
+    runner = get_runner()
+    print(
+        f"# DEP+BURST reproduction — scale={runner.config.scale}, "
+        f"benchmarks={', '.join(runner.config.benchmarks)}"
+    )
+    started = time.time()
+    for result in run_experiments(args.experiments, runner):
+        print()
+        print(result.to_text())
+        sys.stdout.flush()
+    print(f"\n# done in {time.time() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

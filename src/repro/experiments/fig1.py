@@ -1,0 +1,61 @@
+"""Figure 1: average absolute error vs target frequency, M+CRIT vs DEP+BURST.
+
+The paper's motivating figure predicts performance at 2, 3 and 4 GHz from
+a 1 GHz base run and contrasts the naive M+CRIT extension (27% average
+absolute error at 4 GHz) with DEP+BURST (6%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.evaluate import prediction_error
+from repro.core.predictors import make_predictor
+from repro.experiments.report import ExperimentResult, mean_abs, pct_abs
+from repro.experiments.runner import ExperimentRunner
+
+#: Approximate paper values (average absolute error, base 1 GHz).
+PAPER_MCRIT = {2.0: 0.12, 3.0: 0.20, 4.0: 0.27}
+PAPER_DEPBURST = {2.0: 0.03, 3.0: 0.05, 4.0: 0.06}
+
+_BASE_GHZ = 1.0
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Regenerate Figure 1's two error-vs-frequency series."""
+    config = runner.config
+    mcrit = make_predictor("M+CRIT")
+    depburst = make_predictor("DEP+BURST")
+    result = ExperimentResult(
+        experiment_id="Fig 1",
+        title="Average absolute prediction error vs target (base 1 GHz)",
+        headers=[
+            "target (GHz)",
+            "M+CRIT",
+            "paper M+CRIT",
+            "DEP+BURST",
+            "paper DEP+BURST",
+        ],
+        notes="averaged over all benchmarks; paper values read from Figure 1",
+    )
+    for target in config.targets_up_ghz:
+        errors: Dict[str, List[float]] = {"mcrit": [], "depburst": []}
+        for benchmark in config.benchmarks:
+            base = runner.base_trace(benchmark, _BASE_GHZ)
+            actual = runner.fixed_run(benchmark, target).total_ns
+            errors["mcrit"].append(
+                prediction_error(mcrit.predict_total_ns(base, target), actual)
+            )
+            errors["depburst"].append(
+                prediction_error(depburst.predict_total_ns(base, target), actual)
+            )
+        result.rows.append(
+            (
+                f"{target:.0f}",
+                pct_abs(mean_abs(errors["mcrit"])),
+                pct_abs(PAPER_MCRIT.get(target, float("nan"))),
+                pct_abs(mean_abs(errors["depburst"])),
+                pct_abs(PAPER_DEPBURST.get(target, float("nan"))),
+            )
+        )
+    return result

@@ -1,0 +1,178 @@
+"""Cached ground-truth simulation runner shared by all experiments.
+
+Every experiment needs some mix of: fixed-frequency ground-truth runs
+(execution time, GC time, energy), the base-frequency *traces* the
+predictors consume, and managed (governor-controlled) runs. Simulations
+dominate the suite's cost, so the runner memoizes them:
+
+* fixed-run summaries (time/energy) are cached per (benchmark, frequency);
+* traces are kept only for the prediction base frequencies (1 and 4 GHz);
+  other runs are summarized and dropped to bound memory;
+* managed runs are cached per (benchmark, threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.energy.account import compute_energy
+from repro.energy.manager import EnergyManager, ManagerConfig, ManagerDecision
+from repro.energy.power import PowerModel
+from repro.experiments.setup import ExperimentConfig, default_config
+from repro.sim.run import simulate, simulate_managed
+from repro.sim.trace import SimulationTrace
+from repro.workloads.registry import BenchmarkBundle, get_benchmark
+
+#: Frequencies whose traces are retained for offline prediction.
+_BASE_FREQS = (1.0, 4.0)
+
+
+@dataclass
+class FixedRun:
+    """Summary of one fixed-frequency ground-truth simulation."""
+
+    benchmark: str
+    freq_ghz: float
+    total_ns: float
+    gc_time_ns: float
+    gc_cycles: int
+    energy_j: float
+    #: Retained only for prediction base frequencies.
+    trace: Optional[SimulationTrace] = None
+
+
+@dataclass
+class ManagedRun:
+    """Summary of one energy-managed simulation."""
+
+    benchmark: str
+    threshold: float
+    total_ns: float
+    energy_j: float
+    decisions: List[ManagerDecision]
+
+    @property
+    def mean_freq_ghz(self) -> float:
+        """Average frequency chosen across quanta."""
+        if not self.decisions:
+            return 0.0
+        return sum(d.chosen_freq_ghz for d in self.decisions) / len(self.decisions)
+
+
+class ExperimentRunner:
+    """Simulation cache + convenience accessors for the experiment suite."""
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config or default_config()
+        self._bundles: Dict[str, BenchmarkBundle] = {}
+        self._fixed: Dict[Tuple[str, float], FixedRun] = {}
+        self._managed: Dict[Tuple[str, float], ManagedRun] = {}
+        self._power_models: Dict[str, PowerModel] = {}
+
+    def bundle(self, benchmark: str) -> BenchmarkBundle:
+        """The (cached) benchmark bundle at the configured scale."""
+        bundle = self._bundles.get(benchmark)
+        if bundle is None:
+            bundle = get_benchmark(benchmark, scale=self.config.scale)
+            self._bundles[benchmark] = bundle
+        return bundle
+
+    def power_model(self, benchmark: str) -> PowerModel:
+        """The power model for a benchmark's machine spec."""
+        model = self._power_models.get(benchmark)
+        if model is None:
+            model = PowerModel(self.bundle(benchmark).spec)
+            self._power_models[benchmark] = model
+        return model
+
+    # ------------------------------------------------------------------
+    # Ground-truth runs
+    # ------------------------------------------------------------------
+
+    def fixed_run(self, benchmark: str, freq_ghz: float) -> FixedRun:
+        """Simulate (once) ``benchmark`` at a fixed frequency."""
+        key = (benchmark, round(freq_ghz, 6))
+        cached = self._fixed.get(key)
+        if cached is not None:
+            return cached
+        bundle = self.bundle(benchmark)
+        result = simulate(
+            bundle.program,
+            freq_ghz,
+            spec=bundle.spec,
+            jvm_config=bundle.jvm_config,
+            gc_model=bundle.gc_model,
+            quantum_ns=self.config.quantum_ns,
+        )
+        energy = compute_energy(
+            result.trace, bundle.spec, self.power_model(benchmark)
+        )
+        keep_trace = any(abs(freq_ghz - base) < 1e-9 for base in _BASE_FREQS)
+        run = FixedRun(
+            benchmark=benchmark,
+            freq_ghz=freq_ghz,
+            total_ns=result.total_ns,
+            gc_time_ns=result.trace.gc_time_ns,
+            gc_cycles=result.trace.gc_cycles,
+            energy_j=energy.total_j,
+            trace=result.trace if keep_trace else None,
+        )
+        self._fixed[key] = run
+        return run
+
+    def base_trace(self, benchmark: str, base_freq_ghz: float) -> SimulationTrace:
+        """The retained trace of a base-frequency run (1 or 4 GHz)."""
+        run = self.fixed_run(benchmark, base_freq_ghz)
+        if run.trace is None:
+            raise ValueError(
+                f"no trace retained for {benchmark} at {base_freq_ghz} GHz; "
+                f"base frequencies are {_BASE_FREQS}"
+            )
+        return run.trace
+
+    # ------------------------------------------------------------------
+    # Managed runs
+    # ------------------------------------------------------------------
+
+    def managed_run(self, benchmark: str, threshold: float) -> ManagedRun:
+        """Simulate (once) ``benchmark`` under the energy manager."""
+        key = (benchmark, round(threshold, 6))
+        cached = self._managed.get(key)
+        if cached is not None:
+            return cached
+        bundle = self.bundle(benchmark)
+        manager = EnergyManager(
+            bundle.spec, ManagerConfig(tolerable_slowdown=threshold)
+        )
+        result = simulate_managed(
+            bundle.program,
+            manager,
+            spec=bundle.spec,
+            jvm_config=bundle.jvm_config,
+            gc_model=bundle.gc_model,
+            quantum_ns=self.config.quantum_ns,
+        )
+        energy = compute_energy(
+            result.trace, bundle.spec, self.power_model(benchmark)
+        )
+        run = ManagedRun(
+            benchmark=benchmark,
+            threshold=threshold,
+            total_ns=result.total_ns,
+            energy_j=energy.total_j,
+            decisions=list(manager.decisions),
+        )
+        self._managed[key] = run
+        return run
+
+
+_RUNNER: Optional[ExperimentRunner] = None
+
+
+def get_runner(config: Optional[ExperimentConfig] = None) -> ExperimentRunner:
+    """Process-wide runner so tests/benchmarks share ground-truth runs."""
+    global _RUNNER
+    if _RUNNER is None or (config is not None and config != _RUNNER.config):
+        _RUNNER = ExperimentRunner(config)
+    return _RUNNER

@@ -1,0 +1,45 @@
+"""Sensitivity: mean error of every model at every target frequency.
+
+Figure 1 plots only M+CRIT and DEP+BURST; Figure 3 shows per-benchmark
+bars at three targets. This experiment renders the full underlying
+surface — mean absolute error of all six models at every evaluated target
+in both directions — which makes the paper's 'errors grow with prediction
+distance' observation directly visible per model. Reuses Figure 3's
+cached error grid, so it is free once fig3 has run.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.predictors import predictor_names
+from repro.experiments import fig3
+from repro.experiments.report import ExperimentResult, pct_abs
+from repro.experiments.runner import ExperimentRunner
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Render the error-vs-target surface for all models."""
+    config = runner.config
+    data = fig3.collect(runner)
+    models = predictor_names()
+    result = ExperimentResult(
+        experiment_id="Sensitivity",
+        title="Mean |error| vs target frequency, all models",
+        headers=["base -> target"] + models,
+        notes="errors grow with prediction distance; +BURST flattens the "
+              "growth, DEP+BURST most of all",
+    )
+    rows: List = []
+    for target in config.targets_up_ghz:
+        rows.append(
+            [f"1 GHz -> {target:g} GHz"]
+            + [pct_abs(data.mean_abs_at("up", m, target)) for m in models]
+        )
+    for target in config.targets_down_ghz:
+        rows.append(
+            [f"4 GHz -> {target:g} GHz"]
+            + [pct_abs(data.mean_abs_at("down", m, target)) for m in models]
+        )
+    result.rows = rows
+    return result

@@ -1,0 +1,27 @@
+"""Table II: simulated system parameters (static configuration dump)."""
+
+from __future__ import annotations
+
+from repro.arch.specs import haswell_i7_4770k
+from repro.energy.vftable import VfTable
+from repro.experiments.report import ExperimentResult
+
+
+def run(runner=None) -> ExperimentResult:
+    """Regenerate Table II from the machine specification.
+
+    ``runner`` is accepted for interface uniformity but unused: the table
+    is static configuration.
+    """
+    spec = haswell_i7_4770k()
+    result = ExperimentResult(
+        experiment_id="Table II",
+        title="Simulated system parameters (Haswell i7-4770K-like)",
+        headers=["component", "parameters"],
+    )
+    for component, parameters in spec.table_rows():
+        result.rows.append((component, parameters))
+    vf = VfTable(spec)
+    sample = [f"{f:.3f} GHz @ {v:.3f} V" for f, v in vf.rows()[:: 8]]
+    result.rows.append(("V/f points", "; ".join(sample)))
+    return result

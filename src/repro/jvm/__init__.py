@@ -1,0 +1,33 @@
+"""Managed-runtime substrate: heap, allocator, garbage collector, JIT.
+
+The paper's workloads run on Jikes RVM with a stop-the-world generational
+Immix collector (Section IV). This package models the pieces of that stack
+that matter for DVFS prediction:
+
+* a generational heap (nursery + mature space) whose occupancy triggers
+  collections deterministically from the allocation stream;
+* bump-pointer allocation with **zero-initialization store bursts** — the
+  first source of BURST's store bursts (Section III.D);
+* a parallel stop-the-world collector whose threads synchronize through
+  barriers (futexes) and whose object copying produces the second kind of
+  store burst;
+* a JIT compilation service thread (disabled in measured runs, mirroring
+  the paper's replay-compilation methodology).
+"""
+
+from repro.jvm.allocator import ZeroInitAllocator
+from repro.jvm.gc import GcConfig, GcModel
+from repro.jvm.heap import HeapState
+from repro.jvm.jit import JitConfig, build_jit_program
+from repro.jvm.runtime import JvmConfig, JvmRuntime
+
+__all__ = [
+    "GcConfig",
+    "GcModel",
+    "HeapState",
+    "JitConfig",
+    "JvmConfig",
+    "JvmRuntime",
+    "ZeroInitAllocator",
+    "build_jit_program",
+]

@@ -1,0 +1,77 @@
+"""Bump-pointer allocation with zero-initialization store bursts.
+
+Java requires fresh memory to read as zero (Section II.B): every allocation
+is followed by a burst of stores writing zeroes over the new region. These
+stores are sequential, so they coalesce into full cache lines and drain at
+the line rate; they are also dense enough to fill the store queue — the
+first of the two store-burst sources BURST models.
+
+The allocator converts an ``Allocate(n_bytes)`` action into the timed
+segments the allocating thread executes: a small allocation-path compute
+cost plus one :class:`StoreBurstSegment` per zeroing chunk, interleaved
+with object-initialization compute.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.validation import check_positive
+from repro.arch.dram import DramConfig
+from repro.arch.segments import ComputeSegment, Segment, StoreBurstSegment
+
+
+class ZeroInitAllocator:
+    """Generates the zero-initialization work of bump-pointer allocation."""
+
+    #: Bytes written per store instruction (64-bit stores).
+    STORE_BYTES = 8
+
+    def __init__(
+        self,
+        dram: DramConfig,
+        chunk_bytes: int = 4096,
+        alloc_path_insns: int = 60,
+        init_insns_per_chunk: int = 180,
+        cpi: float = 0.6,
+    ) -> None:
+        check_positive("chunk_bytes", chunk_bytes)
+        check_positive("alloc_path_insns", alloc_path_insns)
+        check_positive("cpi", cpi)
+        self.dram = dram
+        self.chunk_bytes = chunk_bytes
+        self.alloc_path_insns = alloc_path_insns
+        self.init_insns_per_chunk = init_insns_per_chunk
+        self.cpi = cpi
+
+    @property
+    def zero_drain_ns_per_store(self) -> float:
+        """Drain interval per zero-init store.
+
+        Sequential zeroing writes whole cache lines, so the memory-bound
+        drain interval per store is the line drain time divided by the
+        stores that share the line.
+        """
+        stores_per_line = self.dram.line_bytes // self.STORE_BYTES
+        return self.dram.store_line_drain_ns / stores_per_line
+
+    def segments_for(self, n_bytes: int) -> List[Segment]:
+        """The timed segments an allocation of ``n_bytes`` executes."""
+        check_positive("n_bytes", n_bytes)
+        segments: List[Segment] = [
+            ComputeSegment(insns=self.alloc_path_insns, cpi=self.cpi)
+        ]
+        remaining = n_bytes
+        drain = self.zero_drain_ns_per_store
+        while remaining > 0:
+            chunk = min(remaining, self.chunk_bytes)
+            n_stores = max(1, chunk // self.STORE_BYTES)
+            segments.append(
+                StoreBurstSegment(n_stores=n_stores, drain_ns_per_store=drain)
+            )
+            if self.init_insns_per_chunk:
+                segments.append(
+                    ComputeSegment(insns=self.init_insns_per_chunk, cpi=self.cpi)
+                )
+            remaining -= chunk
+        return segments

@@ -1,0 +1,34 @@
+"""Operating-system substrate: threads, futexes, locks, scheduler.
+
+The paper identifies synchronization epochs by intercepting ``futex_wait``
+and ``futex_wake`` system calls (Section III.B) — every sleep and wake of a
+thread marks an epoch boundary. This package provides the kernel-side
+machinery the simulator uses to produce exactly that event stream:
+
+* :mod:`repro.osmodel.threadmodel` — thread identities, kinds and states;
+* :mod:`repro.osmodel.futex` — futex wait queues;
+* :mod:`repro.osmodel.locks` — mutexes and barriers built on futexes
+  (uncontended fast path in user space, kernel futex only on contention,
+  mirroring pthreads);
+* :mod:`repro.osmodel.scheduler` — mapping runnable threads onto cores,
+  with round-robin timeslicing when threads outnumber cores.
+
+All classes here are pure state machines: they decide *what* happens
+(who blocks, who wakes, who runs) while the discrete-event engine in
+:mod:`repro.sim` decides *when*.
+"""
+
+from repro.osmodel.futex import FutexTable
+from repro.osmodel.locks import BarrierState, MutexState
+from repro.osmodel.scheduler import Scheduler
+from repro.osmodel.threadmodel import SimThread, ThreadKind, ThreadState
+
+__all__ = [
+    "BarrierState",
+    "FutexTable",
+    "MutexState",
+    "Scheduler",
+    "SimThread",
+    "ThreadKind",
+    "ThreadState",
+]

@@ -1,0 +1,71 @@
+"""Futex wait queues (fast user-space mutex kernel side).
+
+Multithreading libraries acquire uncontended locks with atomic instructions
+in user space and fall into the kernel only on contention, via
+``futex_wait`` / ``futex_wake`` (Section III.B, [18]). The paper's predictor
+intercepts exactly these calls; our simulator routes every blocking
+operation (contended locks, barriers, GC rendezvous, thread join) through
+this table so the resulting trace carries the same information a kernel
+module would see.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List
+
+from repro.common.errors import SimulationError
+
+
+class FutexTable:
+    """FIFO wait queues keyed by an integer futex address."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, "OrderedDict[int, None]"] = {}
+        self.wait_calls = 0
+        self.wake_calls = 0
+
+    def wait(self, key: int, tid: int) -> None:
+        """Enqueue ``tid`` on futex ``key`` (the thread goes to sleep)."""
+        queue = self._queues.setdefault(key, OrderedDict())
+        if tid in queue:
+            raise SimulationError(f"thread {tid} already waiting on futex {key}")
+        queue[tid] = None
+        self.wait_calls += 1
+
+    def wake(self, key: int, n: int = 1) -> List[int]:
+        """Wake up to ``n`` threads waiting on ``key``; return their tids in FIFO order."""
+        self.wake_calls += 1
+        queue = self._queues.get(key)
+        if not queue:
+            return []
+        woken: List[int] = []
+        while queue and len(woken) < n:
+            tid, _ = queue.popitem(last=False)
+            woken.append(tid)
+        if not queue:
+            del self._queues[key]
+        return woken
+
+    def wake_all(self, key: int) -> List[int]:
+        """Wake every thread waiting on ``key``."""
+        return self.wake(key, n=1 << 30)
+
+    def waiters(self, key: int) -> List[int]:
+        """Tids currently queued on ``key`` (FIFO order), without waking them."""
+        queue = self._queues.get(key)
+        return list(queue) if queue else []
+
+    def remove(self, key: int, tid: int) -> bool:
+        """Remove ``tid`` from ``key``'s queue (timeout/cancellation path)."""
+        queue = self._queues.get(key)
+        if queue and tid in queue:
+            del queue[tid]
+            if not queue:
+                del self._queues[key]
+            return True
+        return False
+
+    def total_waiters(self) -> int:
+        """Number of threads asleep on any futex."""
+        return sum(len(queue) for queue in self._queues.values())

@@ -1,0 +1,123 @@
+"""Mutex and barrier state machines built over futexes.
+
+These mirror pthreads semantics: the uncontended path never touches the
+futex table (user-space atomics), so uncontended synchronization produces
+*no* epoch boundaries — exactly the behaviour the paper relies on when it
+says intercepting futexes has negligible overhead.
+
+The classes are pure decision logic. They tell the caller whether the
+requesting thread proceeds or must ``futex_wait``, and whom to
+``futex_wake``; the simulation engine performs the actual blocking and
+waking and logs the trace events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.common.errors import SimulationError
+
+
+@dataclass
+class MutexState:
+    """One mutex: owner + FIFO queue of contenders.
+
+    ``acquire`` returns True when the lock was taken on the fast path;
+    False means the caller must sleep (the mutex remembers it as a waiter).
+    ``release`` returns the tid to hand the lock to (and wake), if any.
+    """
+
+    lock_id: int
+    owner: Optional[int] = None
+    waiters: Deque[int] = field(default_factory=deque)
+    acquisitions: int = 0
+    contended_acquisitions: int = 0
+
+    def acquire(self, tid: int) -> bool:
+        """Try to take the mutex for ``tid``; True on fast-path success."""
+        if self.owner == tid:
+            raise SimulationError(
+                f"thread {tid} re-acquiring non-recursive mutex {self.lock_id}"
+            )
+        if self.owner is None:
+            self.owner = tid
+            self.acquisitions += 1
+            return True
+        if tid in self.waiters:
+            raise SimulationError(
+                f"thread {tid} already queued on mutex {self.lock_id}"
+            )
+        self.waiters.append(tid)
+        self.contended_acquisitions += 1
+        return False
+
+    def release(self, tid: int) -> Optional[int]:
+        """Release the mutex; return the next owner's tid to wake, if any.
+
+        Ownership transfers directly to the woken waiter (FIFO handoff),
+        so a woken thread resumes as the owner without re-contending.
+        """
+        if self.owner != tid:
+            raise SimulationError(
+                f"thread {tid} releasing mutex {self.lock_id} owned by {self.owner}"
+            )
+        if self.waiters:
+            next_owner = self.waiters.popleft()
+            self.owner = next_owner
+            self.acquisitions += 1
+            return next_owner
+        self.owner = None
+        return None
+
+    @property
+    def contention_ratio(self) -> float:
+        """Fraction of acquisitions that had to sleep (diagnostics)."""
+        total = self.acquisitions
+        return self.contended_acquisitions / total if total else 0.0
+
+
+@dataclass
+class BarrierState:
+    """A reusable (cyclic) barrier for a fixed party count.
+
+    ``arrive`` returns the list of tids to wake when the caller is the last
+    party (everyone previously asleep), or None when the caller must sleep.
+    The barrier resets itself for the next generation on release, like
+    ``pthread_barrier_wait``.
+    """
+
+    barrier_id: int
+    parties: int
+    waiting: List[int] = field(default_factory=list)
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.parties <= 0:
+            raise SimulationError(
+                f"barrier {self.barrier_id} needs >= 1 party, got {self.parties}"
+            )
+
+    def arrive(self, tid: int) -> Optional[List[int]]:
+        """Register ``tid`` at the barrier.
+
+        Returns the tids to wake (possibly empty, when ``parties == 1``)
+        if the barrier trips, else None (caller sleeps).
+        """
+        if tid in self.waiting:
+            raise SimulationError(
+                f"thread {tid} arrived twice at barrier {self.barrier_id}"
+            )
+        if len(self.waiting) + 1 == self.parties:
+            woken = list(self.waiting)
+            self.waiting.clear()
+            self.generation += 1
+            return woken
+        self.waiting.append(tid)
+        return None
+
+    @property
+    def arrived(self) -> int:
+        """Number of parties currently asleep at the barrier."""
+        return len(self.waiting)

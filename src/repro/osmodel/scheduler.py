@@ -1,0 +1,132 @@
+"""CPU scheduler: maps runnable threads onto a fixed set of cores.
+
+Most of the paper's benchmarks run four application threads on four cores,
+so each runnable thread owns a core. But ``avrora`` has six threads, and
+during garbage collection the GC threads compete with any still-runnable
+machinery, so the simulator needs a real scheduler: FIFO dispatch with
+round-robin preemption when runnable threads exceed cores. Preemption
+("a thread is scheduled out by the OS") is itself an epoch-boundary event
+(Section III.B).
+
+The scheduler is a pure state machine over tids; the engine asks it for
+decisions and applies their timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.common.errors import SimulationError
+from repro.common.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """A scheduling decision: run ``tid`` on ``core``."""
+
+    tid: int
+    core: int
+
+
+class Scheduler:
+    """FIFO run queue over ``n_cores`` cores with round-robin timeslicing."""
+
+    def __init__(self, n_cores: int, timeslice_ns: float = 1_000_000.0) -> None:
+        check_positive("n_cores", n_cores)
+        check_positive("timeslice_ns", timeslice_ns)
+        self.n_cores = n_cores
+        self.timeslice_ns = timeslice_ns
+        self._free_cores: List[int] = list(range(n_cores))
+        self._running: Dict[int, int] = {}  # tid -> core
+        self._queue: Deque[int] = deque()
+        self._queued: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def running_tids(self) -> List[int]:
+        """Tids currently occupying a core."""
+        return list(self._running)
+
+    @property
+    def queued_tids(self) -> List[int]:
+        """Tids runnable but waiting for a core, FIFO order."""
+        return list(self._queue)
+
+    def core_of(self, tid: int) -> Optional[int]:
+        """The core ``tid`` runs on, or None."""
+        return self._running.get(tid)
+
+    def is_oversubscribed(self) -> bool:
+        """True when runnable threads outnumber cores."""
+        return bool(self._queue)
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def make_runnable(self, tid: int) -> Optional[Dispatch]:
+        """A thread became runnable (spawned or woken).
+
+        Returns a dispatch decision if a core is free, else queues the
+        thread and returns None.
+        """
+        if tid in self._running or tid in self._queued:
+            raise SimulationError(f"thread {tid} is already runnable/running")
+        if self._free_cores:
+            core = self._free_cores.pop(0)
+            self._running[tid] = core
+            return Dispatch(tid=tid, core=core)
+        self._queue.append(tid)
+        self._queued.add(tid)
+        return None
+
+    def remove(self, tid: int) -> Optional[Dispatch]:
+        """A running thread blocked or exited; its core may go to a queued thread.
+
+        Returns the dispatch of the queued thread that inherits the core,
+        if any.
+        """
+        core = self._running.pop(tid, None)
+        if core is None:
+            # A queued (not yet running) thread can also block, e.g. a
+            # preempted thread hitting a GC rendezvous.
+            if tid in self._queued:
+                self._queue.remove(tid)
+                self._queued.discard(tid)
+                return None
+            raise SimulationError(f"thread {tid} is not scheduled")
+        if self._queue:
+            next_tid = self._queue.popleft()
+            self._queued.discard(next_tid)
+            self._running[next_tid] = core
+            return Dispatch(tid=next_tid, core=core)
+        self._free_cores.append(core)
+        return None
+
+    def should_preempt(self, tid: int, ran_for_ns: float) -> bool:
+        """Round-robin policy: yield at a segment boundary when the timeslice
+        has expired and someone is waiting for a core."""
+        return bool(self._queue) and ran_for_ns >= self.timeslice_ns
+
+    def preempt(self, tid: int) -> Dispatch:
+        """Take ``tid`` off its core, dispatch the head of the queue there.
+
+        ``tid`` re-joins the tail of the run queue. Only call when
+        :meth:`should_preempt` returned True.
+        """
+        core = self._running.pop(tid, None)
+        if core is None:
+            raise SimulationError(f"cannot preempt non-running thread {tid}")
+        if not self._queue:
+            raise SimulationError("preempting with an empty run queue")
+        next_tid = self._queue.popleft()
+        self._queued.discard(next_tid)
+        self._running[next_tid] = core
+        self._queue.append(tid)
+        self._queued.add(tid)
+        return Dispatch(tid=next_tid, core=core)

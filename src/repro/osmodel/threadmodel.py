@@ -1,0 +1,100 @@
+"""Thread identities, kinds, and lifecycle states.
+
+The managed runtime runs three kinds of threads (Section II.B): application
+threads, garbage-collection threads and JIT compilation threads. The
+predictors never distinguish them — DEP sees only futex activity — but COOP
+and the JVM runtime do, so each simulated thread carries its kind.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.arch.counters import CounterSet
+
+
+class ThreadKind(enum.Enum):
+    """What role a thread plays in the managed runtime."""
+
+    APPLICATION = "app"
+    GC = "gc"
+    JIT = "jit"
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle / scheduling state of a simulated thread.
+
+    ``RUNNING``   — on a core, executing its current segment.
+    ``RUNNABLE``  — ready but waiting for a core (oversubscription).
+    ``BLOCKED``   — asleep in ``futex_wait`` (lock, barrier, GC rendezvous).
+    ``FINISHED``  — program exhausted.
+    """
+
+    RUNNING = "running"
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+@dataclass
+class SimThread:
+    """One simulated thread: a program plus scheduling/counter bookkeeping."""
+
+    tid: int
+    name: str
+    kind: ThreadKind
+    #: Iterator over workload actions (see :mod:`repro.workloads.items`).
+    program: Iterator[object]
+    state: ThreadState = ThreadState.RUNNABLE
+    #: Hardware counters accumulated so far (cumulative over the whole run).
+    counters: CounterSet = field(default_factory=CounterSet)
+    #: The core this thread currently occupies, if RUNNING.
+    core: Optional[int] = None
+    #: Wall time at which the current segment started, if one is in flight.
+    segment_start_ns: Optional[float] = None
+    #: Planned wall duration of the in-flight segment at the current
+    #: frequency (rescaled if the frequency changes mid-segment).
+    segment_wall_ns: Optional[float] = None
+    #: Counter increments the in-flight segment will deposit on completion.
+    segment_counters: Optional[CounterSet] = None
+    #: Time at which the thread was last dispatched (for timeslice checks).
+    dispatched_at_ns: float = 0.0
+    #: Total time spent BLOCKED (diagnostics; also M+CRIT's blind spot).
+    blocked_ns: float = 0.0
+    #: Timestamp of the most recent transition into BLOCKED.
+    blocked_since_ns: Optional[float] = None
+
+    def partial_counters(self, now_ns: float) -> CounterSet:
+        """Cumulative counters including a pro-rata share of the in-flight segment.
+
+        A hardware counter read at an arbitrary instant reflects progress
+        through the current segment; this interpolation models that, so
+        epoch snapshots taken while other threads are mid-segment are not
+        quantized to segment boundaries.
+        """
+        snapshot = self.counters.copy()
+        if (
+            self.segment_start_ns is not None
+            and self.segment_wall_ns
+            and self.segment_counters is not None
+        ):
+            fraction = (now_ns - self.segment_start_ns) / self.segment_wall_ns
+            fraction = min(max(fraction, 0.0), 1.0)
+            partial = CounterSet(
+                active_ns=self.segment_counters.active_ns * fraction,
+                crit_ns=self.segment_counters.crit_ns * fraction,
+                leading_ns=self.segment_counters.leading_ns * fraction,
+                stall_ns=self.segment_counters.stall_ns * fraction,
+                sqfull_ns=self.segment_counters.sqfull_ns * fraction,
+                insns=int(self.segment_counters.insns * fraction),
+                stores=int(self.segment_counters.stores * fraction),
+            )
+            snapshot.add(partial)
+        return snapshot
+
+    @property
+    def is_service(self) -> bool:
+        """True for GC/JIT service threads (COOP's distinction)."""
+        return self.kind is not ThreadKind.APPLICATION

@@ -1,0 +1,32 @@
+"""Discrete-event full-system simulation.
+
+:class:`~repro.sim.system.System` wires the substrates together — cores
+(:mod:`repro.arch`), OS (:mod:`repro.osmodel`), managed runtime
+(:mod:`repro.jvm`) — and executes a :class:`~repro.workloads.program.Program`
+at a fixed frequency or under a DVFS governor. The run produces a
+:class:`~repro.sim.trace.SimulationTrace`: the futex-level event stream the
+paper's kernel module would observe, per-thread performance-counter
+snapshots, and per-quantum interval records for the energy machinery.
+
+Ground truth for predictor evaluation is obtained by re-simulating the same
+program at the target frequency (:func:`repro.sim.run.simulate`).
+"""
+
+from repro.sim.run import SimulationResult, simulate
+from repro.sim.serialize import load_trace, save_trace
+from repro.sim.system import System
+from repro.sim.trace import EventKind, SimulationTrace, ThreadInfo, TraceEvent
+from repro.sim.intervals import IntervalRecord
+
+__all__ = [
+    "EventKind",
+    "IntervalRecord",
+    "SimulationResult",
+    "SimulationTrace",
+    "System",
+    "ThreadInfo",
+    "TraceEvent",
+    "load_trace",
+    "save_trace",
+    "simulate",
+]

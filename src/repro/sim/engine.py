@@ -1,0 +1,62 @@
+"""Minimal discrete-event queue with stale-event invalidation.
+
+The system schedules three kinds of future events: segment completions,
+sleep timers, and quantum boundaries. Segment completions must be revocable
+— a DVFS transition rescales every in-flight segment — so each event carries
+a *token*; bumping the token for a thread invalidates its outstanding
+events without the cost of removing them from the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """An event popped from the queue."""
+
+    time_ns: float
+    payload: Any
+    token: int
+
+
+class EventQueue:
+    """Time-ordered event queue with monotonic pop and token invalidation."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now_ns(self) -> float:
+        """Time of the most recently popped event (simulation clock)."""
+        return self._now
+
+    def push(self, time_ns: float, payload: Any, token: int = 0) -> None:
+        """Schedule ``payload`` at ``time_ns`` (must not be in the past)."""
+        if time_ns < self._now - 1e-9:
+            raise SimulationError(
+                f"event scheduled in the past: {time_ns} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (time_ns, next(self._seq), token, payload))
+
+    def pop(self) -> Optional[ScheduledEvent]:
+        """Pop the earliest event and advance the clock; None when empty."""
+        if not self._heap:
+            return None
+        time_ns, _, token, payload = heapq.heappop(self._heap)
+        self._now = max(self._now, time_ns)
+        return ScheduledEvent(time_ns=time_ns, payload=payload, token=token)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

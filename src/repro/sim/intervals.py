@@ -1,0 +1,57 @@
+"""Per-quantum interval records.
+
+The energy manager operates on fixed scheduling quanta (5 ms in the paper).
+At every quantum boundary the simulator closes an :class:`IntervalRecord`
+with the counter deltas accumulated by each thread during the interval.
+The records double as the integration grid for energy accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.common.errors import TraceError
+from repro.arch.counters import CounterSet
+
+
+@dataclass
+class IntervalRecord:
+    """Counters and timing of one scheduling quantum."""
+
+    index: int
+    start_ns: float
+    end_ns: float
+    #: Frequency in effect during the interval (managers switch only at
+    #: boundaries, so one value per interval suffices).
+    freq_ghz: float
+    #: Counter deltas per thread over this interval.
+    per_thread: Dict[int, CounterSet] = field(default_factory=dict)
+    #: Index range [event_lo, event_hi) into the trace's event list.
+    event_lo: int = 0
+    event_hi: int = 0
+    #: Wall time lost to a DVFS transition at the interval's start.
+    transition_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end_ns < self.start_ns:
+            raise TraceError(
+                f"interval {self.index}: end {self.end_ns} before start {self.start_ns}"
+            )
+
+    @property
+    def duration_ns(self) -> float:
+        """Interval length in nanoseconds."""
+        return self.end_ns - self.start_ns
+
+    def aggregate(self) -> CounterSet:
+        """Counter deltas summed over all threads."""
+        total = CounterSet()
+        for counters in self.per_thread.values():
+            total.add(counters)
+        return total
+
+    @property
+    def busy_core_ns(self) -> float:
+        """Total core-busy time during the interval (sum over cores)."""
+        return self.aggregate().active_ns

@@ -1,0 +1,105 @@
+"""High-level simulation entry points.
+
+:func:`simulate` runs a program at a fixed frequency (predictor-evaluation
+ground truth); :func:`simulate_managed` runs it under a DVFS governor (the
+energy-manager case study). Both return a :class:`SimulationResult` bundling
+the trace with summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.specs import MachineSpec, haswell_i7_4770k
+from repro.common.units import ns_to_ms
+from repro.jvm.gc import GcModel
+from repro.jvm.runtime import JvmConfig
+from repro.sim.system import Governor, System
+from repro.sim.trace import SimulationTrace
+from repro.workloads.program import Program
+
+
+@dataclass
+class SimulationResult:
+    """A completed simulation: trace plus headline statistics."""
+
+    trace: SimulationTrace
+    spec: MachineSpec
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end execution time (last application thread exit), ns."""
+        return self.trace.total_ns
+
+    @property
+    def total_ms(self) -> float:
+        """Execution time in milliseconds (Table I's unit)."""
+        return ns_to_ms(self.trace.total_ns)
+
+    @property
+    def gc_time_ms(self) -> float:
+        """Total stop-the-world collection time in milliseconds."""
+        return ns_to_ms(self.trace.gc_time_ns)
+
+    @property
+    def gc_fraction(self) -> float:
+        """Fraction of execution time spent in garbage collection."""
+        return self.trace.gc_time_ns / self.trace.total_ns if self.trace.total_ns else 0.0
+
+    @property
+    def is_memory_intensive(self) -> bool:
+        """The paper's classification: >10% of execution time in GC."""
+        return self.gc_fraction > 0.10
+
+
+def simulate(
+    program: Program,
+    freq_ghz: float,
+    spec: Optional[MachineSpec] = None,
+    jvm_config: Optional[JvmConfig] = None,
+    gc_model: Optional[GcModel] = None,
+    quantum_ns: float = 5.0e6,
+    max_ns: Optional[float] = None,
+) -> SimulationResult:
+    """Run ``program`` at a fixed chip frequency; return the result.
+
+    Pass the same ``gc_model`` across calls for the same program to reuse
+    the (frequency-independent) GC cycle programs between runs.
+    """
+    spec = spec or haswell_i7_4770k()
+    system = System(
+        program,
+        spec=spec,
+        jvm_config=jvm_config,
+        freq_ghz=freq_ghz,
+        quantum_ns=quantum_ns,
+        gc_model=gc_model,
+    )
+    trace = system.run(max_ns=max_ns)
+    return SimulationResult(trace=trace, spec=spec)
+
+
+def simulate_managed(
+    program: Program,
+    governor: Governor,
+    spec: Optional[MachineSpec] = None,
+    jvm_config: Optional[JvmConfig] = None,
+    gc_model: Optional[GcModel] = None,
+    initial_freq_ghz: Optional[float] = None,
+    quantum_ns: float = 5.0e6,
+    max_ns: Optional[float] = None,
+) -> SimulationResult:
+    """Run ``program`` under a DVFS governor invoked at quantum boundaries."""
+    spec = spec or haswell_i7_4770k()
+    system = System(
+        program,
+        spec=spec,
+        jvm_config=jvm_config,
+        governor=governor,
+        freq_ghz=initial_freq_ghz if initial_freq_ghz is not None else spec.max_freq_ghz,
+        quantum_ns=quantum_ns,
+        gc_model=gc_model,
+    )
+    trace = system.run(max_ns=max_ns)
+    return SimulationResult(trace=trace, spec=spec)

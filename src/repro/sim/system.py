@@ -1,0 +1,721 @@
+"""Full-system discrete-event simulator.
+
+:class:`System` executes a :class:`~repro.workloads.program.Program` on the
+modeled machine: application threads run their action lists on cores, the
+managed runtime injects zero-initialization bursts and stop-the-world
+collections, and every sleep/wake flows through the futex table, producing
+the trace the predictors consume.
+
+Event protocol
+--------------
+Three future-event kinds live in the queue:
+
+* ``("seg", tid, token)`` — a thread's in-flight segment completes;
+* ``("timer", tid, token)`` — a timed sleep expires;
+* ``("quantum",)`` — a scheduling-quantum boundary (interval close, DVFS
+  governor invocation).
+
+Tokens invalidate stale segment completions after a mid-flight DVFS
+rescale.
+
+Stop-the-world protocol
+-----------------------
+When an allocation does not fit the nursery, the runtime raises the GC
+pending flag. Application threads park at the GC-rendezvous futex at their
+next action boundary (threads already asleep on a lock/barrier count as
+parked). Once every application thread is parked, the collector workers are
+woken with the planned cycle's action lists; when all workers drain their
+work and re-park on the GC-idle futex, the heap transition commits and the
+application wakes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.arch.core import CoreModel
+from repro.arch.counters import CounterSet
+from repro.arch.frequency import DvfsDomain
+from repro.arch.segments import Segment
+from repro.arch.specs import MachineSpec, haswell_i7_4770k
+from repro.jvm.gc import GcModel
+from repro.jvm.jit import build_jit_program
+from repro.jvm.runtime import GcPlan, JvmConfig, JvmRuntime
+from repro.osmodel.futex import FutexTable
+from repro.osmodel.locks import BarrierState, MutexState
+from repro.osmodel.scheduler import Dispatch, Scheduler
+from repro.osmodel.threadmodel import SimThread, ThreadKind, ThreadState
+from repro.sim.engine import EventQueue
+from repro.sim.intervals import IntervalRecord
+from repro.sim.trace import EventKind, SimulationTrace, ThreadInfo, TraceEvent
+from repro.workloads.items import (
+    Acquire,
+    Action,
+    Allocate,
+    BarrierWait,
+    Release,
+    Run,
+    Sleep,
+)
+from repro.workloads.program import Program
+
+# Futex key namespaces.
+_KEY_MUTEX_BASE = 0
+_KEY_BARRIER_BASE = 1 << 24
+_KEY_GC_IDLE = 1 << 28
+_KEY_GC_RENDEZVOUS = (1 << 28) + 1
+_KEY_TIMER_BASE = 1 << 29
+
+#: Hard cap on processed events — a loud failure beats a silent hang.
+_MAX_EVENTS = 50_000_000
+
+#: Governor signature: (interval record, trace so far) -> target frequency
+#: in GHz (or None to keep the current one).
+Governor = Callable[[IntervalRecord, SimulationTrace], Optional[float]]
+
+
+class System:
+    """One simulated machine executing one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        spec: Optional[MachineSpec] = None,
+        jvm_config: Optional[JvmConfig] = None,
+        governor: Optional[Governor] = None,
+        freq_ghz: Optional[float] = None,
+        quantum_ns: float = 5.0e6,
+        timeslice_ns: float = 1.0e6,
+        gc_model: Optional[GcModel] = None,
+        per_core_dvfs: bool = False,
+    ) -> None:
+        self.spec = spec or haswell_i7_4770k()
+        self.program = program
+        self.core_model = CoreModel(self.spec)
+        self.dvfs = DvfsDomain(self.spec, freq_ghz, per_core=per_core_dvfs)
+        self.scheduler = Scheduler(self.spec.n_cores, timeslice_ns)
+        self.futex = FutexTable()
+        self.runtime = JvmRuntime(
+            program, self.spec.dram, jvm_config, gc_model=gc_model
+        )
+        self.governor = governor
+        self.quantum_ns = quantum_ns
+        self.trace = SimulationTrace(
+            program_name=program.name, base_freq_ghz=self.dvfs.current_freq_ghz
+        )
+        self._queue = EventQueue()
+        self._mutexes: Dict[int, MutexState] = {}
+        self._barriers: Dict[int, BarrierState] = {}
+        self._threads: Dict[int, SimThread] = {}
+        self._pending_segments: Dict[int, deque] = {}
+        self._gc_work: Dict[int, deque] = {}
+        self._pushback: Dict[int, Optional[Action]] = {}
+        self._alloc_retries: Dict[int, int] = {}
+        self._tokens: Dict[int, int] = {}
+        self._segments_inflight: Dict[int, Segment] = {}
+        self._app_alive = 0
+        self._gc_pending = False
+        self._gc_active = False
+        self._gc_plan: Optional[GcPlan] = None
+        self._gc_start_ns = 0.0
+        self._gc_idle_workers = 0
+        self._interval_index = 0
+        self._interval_start_ns = 0.0
+        self._interval_event_lo = 0
+        self._interval_snapshot: Dict[int, CounterSet] = {}
+        self._pending_transition_ns = 0.0
+        self._finished = False
+        self._build_threads()
+
+    # ==================================================================
+    # Construction
+    # ==================================================================
+
+    def _build_threads(self) -> None:
+        tid = 0
+        for thread_prog in self.program.threads:
+            self._threads[tid] = SimThread(
+                tid=tid,
+                name=thread_prog.name,
+                kind=ThreadKind.APPLICATION,
+                program=iter(thread_prog.actions),
+                state=ThreadState.RUNNABLE,
+            )
+            tid += 1
+        for worker in range(self.runtime.n_gc_threads):
+            self._threads[tid] = SimThread(
+                tid=tid,
+                name=f"gc-worker-{worker}",
+                kind=ThreadKind.GC,
+                program=iter(()),
+                state=ThreadState.BLOCKED,
+            )
+            self._gc_work[tid] = deque()
+            tid += 1
+        jit_prog = build_jit_program(
+            self.runtime.config.jit, self.spec.dram, self.program.seed
+        )
+        if jit_prog is not None:
+            self._threads[tid] = SimThread(
+                tid=tid,
+                name=jit_prog.name,
+                kind=ThreadKind.JIT,
+                program=iter(jit_prog.actions),
+                state=ThreadState.RUNNABLE,
+            )
+            tid += 1
+        for thread in self._threads.values():
+            self.trace.threads[thread.tid] = ThreadInfo(
+                tid=thread.tid, name=thread.name, kind=thread.kind
+            )
+            self._pending_segments[thread.tid] = deque()
+            self._pushback[thread.tid] = None
+            self._tokens[thread.tid] = 0
+        self._app_alive = sum(
+            1 for t in self._threads.values() if t.kind is ThreadKind.APPLICATION
+        )
+
+    # ==================================================================
+    # Public entry point
+    # ==================================================================
+
+    def run(self, max_ns: Optional[float] = None) -> SimulationTrace:
+        """Simulate until every application thread finishes; return the trace."""
+        if self._finished:
+            raise SimulationError("a System instance is single-use; build a new one")
+        self._start_threads()
+        self._queue.push(self.quantum_ns, ("quantum",))
+        events_handled = 0
+        while self._app_alive > 0:
+            event = self._queue.pop()
+            if event is None:
+                raise SimulationError(
+                    "deadlock: no pending events but "
+                    f"{self._app_alive} application thread(s) alive; "
+                    f"states={[(t.tid, t.state.value) for t in self._threads.values()]}"
+                )
+            if max_ns is not None and event.time_ns > max_ns:
+                raise SimulationError(
+                    f"simulation exceeded max_ns={max_ns} (now {event.time_ns})"
+                )
+            events_handled += 1
+            if events_handled > _MAX_EVENTS:
+                raise SimulationError("event cap exceeded; likely livelock")
+            payload = event.payload
+            if payload[0] == "seg":
+                self._on_segment_done(payload[1], payload[2])
+            elif payload[0] == "timer":
+                self._on_timer(payload[1], payload[2])
+            elif payload[0] == "quantum":
+                self._on_quantum()
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event payload {payload!r}")
+        self._finalize()
+        return self.trace
+
+    # ==================================================================
+    # Startup / shutdown
+    # ==================================================================
+
+    def _start_threads(self) -> None:
+        for thread in sorted(self._threads.values(), key=lambda t: t.tid):
+            if thread.kind is ThreadKind.GC:
+                # Collector workers start parked on the GC-idle futex.
+                self.futex.wait(_KEY_GC_IDLE, thread.tid)
+                self._gc_idle_workers += 1
+                self._emit(EventKind.SPAWN, thread.tid, "gc-idle")
+                continue
+            self._emit(EventKind.SPAWN, thread.tid)
+            dispatch = self.scheduler.make_runnable(thread.tid)
+            if dispatch is not None:
+                self._apply_dispatch(dispatch, emit=False)
+        # Kick every dispatched thread after all spawns are logged.
+        for tid in list(self.scheduler.running_tids):
+            self._advance(tid)
+
+    def _finalize(self) -> None:
+        now = self._queue.now_ns
+        self.trace.total_ns = now
+        self._close_interval(now)
+        for thread in self._threads.values():
+            if thread.state is not ThreadState.FINISHED:
+                thread.state = ThreadState.FINISHED
+                self._emit(EventKind.EXIT, thread.tid, "teardown")
+        self._finished = True
+
+    # ==================================================================
+    # Event handlers
+    # ==================================================================
+
+    def _on_segment_done(self, tid: int, token: int) -> None:
+        thread = self._threads[tid]
+        if token != self._tokens[tid] or thread.state is not ThreadState.RUNNING:
+            return  # stale completion (frequency rescale)
+        if thread.segment_counters is None:
+            raise SimulationError(f"segment completion for idle thread {tid}")
+        thread.counters.add(thread.segment_counters)
+        thread.segment_start_ns = None
+        thread.segment_wall_ns = None
+        thread.segment_counters = None
+        self._segments_inflight.pop(tid, None)
+        self._advance(tid)
+
+    def _on_timer(self, tid: int, token: int) -> None:
+        if token != self._tokens[tid]:
+            return
+        thread = self._threads[tid]
+        if thread.state is not ThreadState.BLOCKED:
+            return
+        if self.futex.remove(_KEY_TIMER_BASE + tid, tid):
+            self._wake_thread(tid, "timer")
+            self._maybe_start_gc()
+
+    def _on_quantum(self) -> None:
+        now = self._queue.now_ns
+        # Deadlock check: the quantum event keeps the queue alive forever,
+        # so "nothing else pending and nobody on a core" means no thread
+        # can ever make progress again (running threads always have a
+        # segment completion queued, sleepers a timer).
+        if not self._queue and not self.scheduler.running_tids:
+            raise SimulationError(
+                "deadlock: no runnable threads and no pending work; "
+                f"states={[(t.tid, t.state.value) for t in self._threads.values()]}"
+            )
+        record = self._close_interval(now)
+        self._emit(EventKind.INTERVAL, -1, f"q{record.index}")
+        self._open_interval(now)
+        if self.governor is not None:
+            target = self.governor(record, self.trace)
+            if isinstance(target, dict):
+                self._change_core_frequencies(target)
+            elif target is not None:
+                self._change_frequency(target)
+        self._queue.push(now + self.quantum_ns, ("quantum",))
+
+    # ==================================================================
+    # Thread advancement (the scheduler/JVM state machine)
+    # ==================================================================
+
+    def _advance(self, tid: int) -> None:
+        """Drive ``tid`` forward until it starts a segment, blocks, or exits."""
+        thread = self._threads[tid]
+        while True:
+            if thread.state is not ThreadState.RUNNING:
+                raise SimulationError(
+                    f"advancing thread {tid} in state {thread.state}"
+                )
+            now = self._queue.now_ns
+            # Safepoint: park at the GC rendezvous at action boundaries
+            # (both while a collection is pending and while one is active).
+            if (
+                (self._gc_pending or self._gc_active)
+                and thread.kind is ThreadKind.APPLICATION
+            ):
+                self._block(tid, _KEY_GC_RENDEZVOUS, "gc-rendezvous")
+                return
+            # Round-robin preemption at segment/action boundaries.
+            if self.scheduler.should_preempt(tid, now - thread.dispatched_at_ns):
+                self._preempt(tid)
+                return
+            pending = self._pending_segments[tid]
+            if pending:
+                self._start_segment(thread, pending.popleft())
+                return
+            # A collector worker with no work left parks on the idle futex.
+            if (
+                thread.kind is ThreadKind.GC
+                and not self._gc_work[tid]
+                and self._pushback[tid] is None
+            ):
+                self._park_gc_worker(tid)
+                return
+            action = self._next_action(thread)
+            if action is None:
+                self._exit_thread(tid)
+                return
+            if isinstance(action, Run):
+                pending.append(action.segment)
+                continue
+            if isinstance(action, Acquire):
+                mutex = self._mutex(action.lock_id)
+                if mutex.acquire(tid):
+                    continue
+                self._block(tid, _KEY_MUTEX_BASE + action.lock_id, "lock")
+                return
+            if isinstance(action, Release):
+                mutex = self._mutex(action.lock_id)
+                next_owner = mutex.release(tid)
+                if next_owner is not None:
+                    woken = self.futex.wake(_KEY_MUTEX_BASE + action.lock_id)
+                    if woken != [next_owner]:
+                        raise SimulationError(
+                            f"futex/mutex queue mismatch on lock {action.lock_id}"
+                        )
+                    self._wake_thread(next_owner, "lock-handoff")
+                continue
+            if isinstance(action, BarrierWait):
+                barrier = self._barrier(action.barrier_id, action.parties)
+                released = barrier.arrive(tid)
+                if released is None:
+                    self._block(
+                        tid, _KEY_BARRIER_BASE + action.barrier_id, "barrier"
+                    )
+                    return
+                key = _KEY_BARRIER_BASE + action.barrier_id
+                woken = self.futex.wake_all(key)
+                if sorted(woken) != sorted(released):
+                    raise SimulationError(
+                        f"futex/barrier mismatch on barrier {action.barrier_id}"
+                    )
+                for waiter in woken:
+                    self._wake_thread(waiter, "barrier-release")
+                continue
+            if isinstance(action, Allocate):
+                segments = self.runtime.try_allocate(action.n_bytes)
+                if segments is None:
+                    # Nursery full: this thread triggers a collection and
+                    # retries the allocation after the world restarts. If
+                    # collecting does not make room (e.g. a semi-space heap
+                    # whose live data leaves no headroom), fail loudly
+                    # instead of collecting forever.
+                    retries = self._alloc_retries.get(tid, 0)
+                    if retries >= 3:
+                        raise SimulationError(
+                            f"thread {tid}: allocation of {action.n_bytes} B "
+                            f"cannot be satisfied after {retries} collections "
+                            "(live data leaves no headroom)"
+                        )
+                    self._alloc_retries[tid] = retries + 1
+                    self._gc_pending = True
+                    self._pushback[tid] = action
+                    self._block(tid, _KEY_GC_RENDEZVOUS, "gc-trigger")
+                    return
+                self._alloc_retries[tid] = 0
+                pending.extend(segments)
+                continue
+            if isinstance(action, Sleep):
+                self._tokens[tid] += 1
+                self._queue.push(
+                    now + action.duration_ns, ("timer", tid, self._tokens[tid])
+                )
+                self._block(tid, _KEY_TIMER_BASE + tid, "sleep")
+                return
+            raise SimulationError(f"unknown action {action!r}")
+
+    def _next_action(self, thread: SimThread) -> Optional[Action]:
+        pushed = self._pushback[thread.tid]
+        if pushed is not None:
+            self._pushback[thread.tid] = None
+            return pushed
+        if thread.kind is ThreadKind.GC:
+            # _advance parks workers with an empty deque before getting here.
+            return self._gc_work[thread.tid].popleft()
+        return next(thread.program, None)
+
+    # ------------------------------------------------------------------
+    # Segments
+    # ------------------------------------------------------------------
+
+    def _start_segment(self, thread: SimThread, segment: Segment) -> None:
+        now = self._queue.now_ns
+        timing = self.core_model.time_segment(
+            segment, self.dvfs.frequency_of(thread.core)
+        )
+        start = now + self._consume_transition()
+        thread.segment_start_ns = start
+        thread.segment_wall_ns = timing.wall_ns
+        thread.segment_counters = timing.counters
+        self._segments_inflight[thread.tid] = segment
+        self._tokens[thread.tid] += 1
+        self._queue.push(
+            start + timing.wall_ns, ("seg", thread.tid, self._tokens[thread.tid])
+        )
+
+    def _consume_transition(self) -> float:
+        """First segment started after a DVFS switch pays the residual stall."""
+        cost = self._pending_transition_ns
+        self._pending_transition_ns = 0.0
+        return cost
+
+    # ------------------------------------------------------------------
+    # Blocking / waking / scheduling
+    # ------------------------------------------------------------------
+
+    def _block(self, tid: int, key: int, detail: str) -> None:
+        thread = self._threads[tid]
+        now = self._queue.now_ns
+        self.futex.wait(key, tid)
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_since_ns = now
+        dispatch = self.scheduler.remove(tid)
+        self._emit(EventKind.FUTEX_WAIT, tid, detail)
+        if detail in ("gc-rendezvous", "gc-trigger"):
+            self._maybe_start_gc()
+        if dispatch is not None:
+            self._apply_dispatch(dispatch)
+        if self._gc_pending and not self._gc_active:
+            self._maybe_start_gc()
+
+    def _wake_thread(self, tid: int, detail: str) -> None:
+        thread = self._threads[tid]
+        now = self._queue.now_ns
+        if thread.state is not ThreadState.BLOCKED:
+            raise SimulationError(f"waking non-blocked thread {tid}")
+        if thread.blocked_since_ns is not None:
+            thread.blocked_ns += now - thread.blocked_since_ns
+            thread.blocked_since_ns = None
+        dispatch = self.scheduler.make_runnable(tid)
+        if dispatch is not None:
+            thread.state = ThreadState.RUNNING
+            thread.core = dispatch.core
+            thread.dispatched_at_ns = now
+            self._emit(EventKind.FUTEX_WAKE, tid, detail)
+            self._advance(tid)
+        else:
+            thread.state = ThreadState.RUNNABLE
+            self._emit(EventKind.FUTEX_WAKE, tid, detail + "/queued")
+
+    def _apply_dispatch(self, dispatch: Dispatch, emit: bool = True) -> None:
+        thread = self._threads[dispatch.tid]
+        thread.state = ThreadState.RUNNING
+        thread.core = dispatch.core
+        thread.dispatched_at_ns = self._queue.now_ns
+        if emit:
+            self._emit(EventKind.DISPATCH, dispatch.tid)
+            self._advance(dispatch.tid)
+
+    def _preempt(self, tid: int) -> None:
+        thread = self._threads[tid]
+        dispatch = self.scheduler.preempt(tid)
+        thread.state = ThreadState.RUNNABLE
+        thread.core = None
+        self._emit(EventKind.PREEMPT, tid)
+        self._apply_dispatch(dispatch)
+
+    def _exit_thread(self, tid: int) -> None:
+        thread = self._threads[tid]
+        thread.state = ThreadState.FINISHED
+        dispatch = self.scheduler.remove(tid)
+        self._emit(EventKind.EXIT, tid)
+        if thread.kind is ThreadKind.APPLICATION:
+            self._app_alive -= 1
+        if dispatch is not None:
+            self._apply_dispatch(dispatch)
+        if self._gc_pending and not self._gc_active:
+            self._maybe_start_gc()
+
+    # ------------------------------------------------------------------
+    # Garbage collection orchestration
+    # ------------------------------------------------------------------
+
+    def _maybe_start_gc(self) -> None:
+        if not self._gc_pending or self._gc_active:
+            return
+        for thread in self._threads.values():
+            if thread.kind is ThreadKind.APPLICATION and thread.state in (
+                ThreadState.RUNNING,
+                ThreadState.RUNNABLE,
+            ):
+                return
+        plan = self.runtime.plan_gc()
+        self._gc_plan = plan
+        self._gc_active = True
+        self._gc_start_ns = self._queue.now_ns
+        self._emit(EventKind.GC_START, -1, plan.kind)
+        gc_tids = sorted(self._gc_work)
+        for worker_index, gc_tid in enumerate(gc_tids):
+            self._gc_work[gc_tid].extend(plan.worker_actions[worker_index])
+        woken = self.futex.wake_all(_KEY_GC_IDLE)
+        if sorted(woken) != gc_tids:
+            raise SimulationError("GC workers were not all parked at cycle start")
+        self._gc_idle_workers = 0
+        for gc_tid in woken:
+            self._wake_thread(gc_tid, "gc-cycle-start")
+
+    def _park_gc_worker(self, tid: int) -> None:
+        """A collector worker drained its work: park it and maybe end the cycle."""
+        self.futex.wait(_KEY_GC_IDLE, tid)
+        thread = self._threads[tid]
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_since_ns = self._queue.now_ns
+        dispatch = self.scheduler.remove(tid)
+        self._emit(EventKind.FUTEX_WAIT, tid, "gc-idle")
+        self._gc_idle_workers += 1
+        if dispatch is not None:
+            self._apply_dispatch(dispatch)
+        if self._gc_active and self._gc_idle_workers == len(self._gc_work):
+            self._finish_gc()
+
+    def _finish_gc(self) -> None:
+        now = self._queue.now_ns
+        plan = self._gc_plan
+        if plan is None:
+            raise SimulationError("finishing a GC with no plan")
+        self.runtime.finish_gc(plan)
+        self.trace.gc_cycles += 1
+        self.trace.gc_time_ns += now - self._gc_start_ns
+        self._gc_active = False
+        self._gc_pending = False
+        self._gc_plan = None
+        self._emit(EventKind.GC_END, -1, plan.kind)
+        woken = self.futex.wake_all(_KEY_GC_RENDEZVOUS)
+        for tid in woken:
+            self._wake_thread(tid, "gc-resume")
+
+    # ------------------------------------------------------------------
+    # DVFS
+    # ------------------------------------------------------------------
+
+    def _change_frequency(self, target_ghz: float) -> None:
+        """Switch the chip frequency, rescaling in-flight segments."""
+        now = self._queue.now_ns
+        cost = self.dvfs.set_frequency(target_ghz)
+        if cost == 0.0:
+            return
+        new_freq = self.dvfs.current_freq_ghz
+        self._pending_transition_ns = 0.0
+        for tid, segment in list(self._segments_inflight.items()):
+            thread = self._threads[tid]
+            if thread.state is not ThreadState.RUNNING:
+                continue
+            if thread.segment_start_ns is None or not thread.segment_wall_ns:
+                continue
+            elapsed = now - thread.segment_start_ns
+            fraction = min(max(elapsed / thread.segment_wall_ns, 0.0), 1.0)
+            timing = self.core_model.time_segment(segment, new_freq)
+            remaining = (1.0 - fraction) * timing.wall_ns
+            # Re-anchor the segment as if it had run at the new frequency
+            # all along, preserving the completed fraction.
+            thread.segment_start_ns = now + cost - fraction * timing.wall_ns
+            thread.segment_wall_ns = timing.wall_ns
+            thread.segment_counters = timing.counters
+            self._tokens[tid] += 1
+            self._queue.push(now + cost + remaining, ("seg", tid, self._tokens[tid]))
+        # Threads that start a fresh segment right after the switch also
+        # pay the stall once.
+        self._pending_transition_ns = cost
+        self._emit(EventKind.FREQ_CHANGE, -1, f"{new_freq:.3f}GHz")
+        if self.trace.intervals:
+            self.trace.intervals[-1].transition_ns += cost
+
+    def _change_core_frequencies(self, targets) -> None:
+        """Per-core DVFS (the paper's future work): switch listed cores.
+
+        Each switched core stalls for the transition cost; only the thread
+        occupying it is rescaled. Requires ``per_core_dvfs=True``.
+        """
+        now = self._queue.now_ns
+        for core, target_ghz in sorted(targets.items()):
+            cost = self.dvfs.set_core_frequency(core, target_ghz)
+            if cost == 0.0:
+                continue
+            new_freq = self.dvfs.frequency_of(core)
+            self._emit(EventKind.FREQ_CHANGE, -1, f"core{core}@{new_freq:.3f}GHz")
+            if self.trace.intervals:
+                self.trace.intervals[-1].transition_ns += cost
+            occupant = next(
+                (
+                    t for t in self._threads.values()
+                    if t.state is ThreadState.RUNNING and t.core == core
+                ),
+                None,
+            )
+            if occupant is None:
+                continue
+            segment = self._segments_inflight.get(occupant.tid)
+            if (
+                segment is None
+                or occupant.segment_start_ns is None
+                or not occupant.segment_wall_ns
+            ):
+                continue
+            elapsed = now - occupant.segment_start_ns
+            fraction = min(max(elapsed / occupant.segment_wall_ns, 0.0), 1.0)
+            timing = self.core_model.time_segment(segment, new_freq)
+            remaining = (1.0 - fraction) * timing.wall_ns
+            occupant.segment_start_ns = now + cost - fraction * timing.wall_ns
+            occupant.segment_wall_ns = timing.wall_ns
+            occupant.segment_counters = timing.counters
+            self._tokens[occupant.tid] += 1
+            self._queue.push(
+                now + cost + remaining,
+                ("seg", occupant.tid, self._tokens[occupant.tid]),
+            )
+
+    # ------------------------------------------------------------------
+    # Intervals
+    # ------------------------------------------------------------------
+
+    def _open_interval(self, now: float) -> None:
+        self._interval_start_ns = now
+        self._interval_event_lo = len(self.trace.events)
+        self._interval_snapshot = {
+            tid: thread.partial_counters(now)
+            for tid, thread in self._threads.items()
+        }
+
+    def _close_interval(self, now: float) -> IntervalRecord:
+        per_thread: Dict[int, CounterSet] = {}
+        for tid, thread in self._threads.items():
+            baseline = self._interval_snapshot.get(tid, CounterSet())
+            delta = thread.partial_counters(now).delta_since(baseline)
+            if not delta.is_zero():
+                per_thread[tid] = delta
+        record = IntervalRecord(
+            index=self._interval_index,
+            start_ns=self._interval_start_ns,
+            end_ns=now,
+            freq_ghz=self.dvfs.current_freq_ghz,
+            per_thread=per_thread,
+            event_lo=self._interval_event_lo,
+            event_hi=len(self.trace.events),
+        )
+        self.trace.intervals.append(record)
+        self._interval_index += 1
+        return record
+
+    # ------------------------------------------------------------------
+    # Trace emission and small helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, kind: EventKind, tid: int, detail: str = "") -> None:
+        now = self._queue.now_ns
+        running = tuple(sorted(self.scheduler.running_tids))
+        snapshot_tids = set(running)
+        if tid >= 0:
+            snapshot_tids.add(tid)
+        snapshots = {
+            t: self._threads[t].partial_counters(now) for t in sorted(snapshot_tids)
+        }
+        self.trace.events.append(
+            TraceEvent(
+                time_ns=now,
+                tid=tid,
+                kind=kind,
+                freq_ghz=self.dvfs.current_freq_ghz,
+                running_after=running,
+                snapshots=snapshots,
+                detail=detail,
+            )
+        )
+
+    def _mutex(self, lock_id: int) -> MutexState:
+        mutex = self._mutexes.get(lock_id)
+        if mutex is None:
+            mutex = MutexState(lock_id=lock_id)
+            self._mutexes[lock_id] = mutex
+        return mutex
+
+    def _barrier(self, barrier_id: int, parties: int) -> BarrierState:
+        barrier = self._barriers.get(barrier_id)
+        if barrier is None:
+            barrier = BarrierState(barrier_id=barrier_id, parties=parties)
+            self._barriers[barrier_id] = barrier
+        elif barrier.parties != parties:
+            raise SimulationError(
+                f"barrier {barrier_id} used with conflicting party counts "
+                f"({barrier.parties} vs {parties})"
+            )
+        return barrier

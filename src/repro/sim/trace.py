@@ -1,0 +1,160 @@
+"""Trace records: what a kernel module + performance counters would observe.
+
+The predictors must work from observable data only. A trace therefore
+contains:
+
+* one :class:`TraceEvent` per thread-visible transition — futex waits and
+  wakes, spawns and exits, scheduler preemptions and dispatches, GC phase
+  markers, frequency changes, and interval (quantum) boundaries;
+* with each event, counter snapshots for the threads running around it
+  (what reading the per-core counters at that instant would return);
+* per-quantum :class:`~repro.sim.intervals.IntervalRecord` entries.
+
+Trace events carry *cumulative* counters; consumers diff snapshots between
+boundaries to obtain per-epoch or per-interval deltas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from repro.common.errors import TraceError
+from repro.arch.counters import CounterSet
+from repro.osmodel.threadmodel import ThreadKind
+from repro.sim.intervals import IntervalRecord
+
+
+class EventKind(enum.Enum):
+    """Kinds of observable trace events."""
+
+    SPAWN = "spawn"
+    EXIT = "exit"
+    FUTEX_WAIT = "futex_wait"
+    FUTEX_WAKE = "futex_wake"
+    PREEMPT = "preempt"
+    DISPATCH = "dispatch"
+    GC_START = "gc_start"
+    GC_END = "gc_end"
+    FREQ_CHANGE = "freq_change"
+    INTERVAL = "interval"
+
+    @property
+    def is_epoch_boundary(self) -> bool:
+        """True for events that begin a new synchronization epoch.
+
+        Section III.B: an epoch starts whenever a thread is scheduled out
+        and put to sleep, or a sleeping/new thread is scheduled in. We also
+        cut epochs at explicit window markers (intervals, frequency
+        changes) so predictions can be windowed.
+        """
+        return self in (
+            EventKind.SPAWN,
+            EventKind.EXIT,
+            EventKind.FUTEX_WAIT,
+            EventKind.FUTEX_WAKE,
+            EventKind.PREEMPT,
+            EventKind.DISPATCH,
+            EventKind.GC_START,
+            EventKind.GC_END,
+            EventKind.FREQ_CHANGE,
+            EventKind.INTERVAL,
+        )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable transition, with counter snapshots around it."""
+
+    time_ns: float
+    #: The thread the event is about (-1 for global events).
+    tid: int
+    kind: EventKind
+    #: Chip frequency in effect at (just after) the event.
+    freq_ghz: float
+    #: Tids on cores immediately after the event was applied.
+    running_after: Tuple[int, ...]
+    #: Cumulative counters for threads running around the event (the union
+    #: of ``running_after`` and the event's own tid).
+    snapshots: Mapping[int, CounterSet]
+    #: Free-form detail (futex key, GC kind, ...), for diagnostics.
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ThreadInfo:
+    """Identity of one simulated thread."""
+
+    tid: int
+    name: str
+    kind: ThreadKind
+
+
+@dataclass
+class SimulationTrace:
+    """Everything observable from one simulation run."""
+
+    program_name: str
+    events: List[TraceEvent] = field(default_factory=list)
+    threads: Dict[int, ThreadInfo] = field(default_factory=dict)
+    intervals: List[IntervalRecord] = field(default_factory=list)
+    total_ns: float = 0.0
+    #: The (initial) frequency of the run; fixed-frequency runs never change it.
+    base_freq_ghz: float = 0.0
+    #: Number of GC cycles observed (minor + full).
+    gc_cycles: int = 0
+    #: Total wall time with a GC cycle in progress.
+    gc_time_ns: float = 0.0
+
+    def app_tids(self) -> List[int]:
+        """Tids of application threads, ascending."""
+        return sorted(
+            tid
+            for tid, info in self.threads.items()
+            if info.kind is ThreadKind.APPLICATION
+        )
+
+    def service_tids(self) -> List[int]:
+        """Tids of GC/JIT service threads, ascending."""
+        return sorted(
+            tid
+            for tid, info in self.threads.items()
+            if info.kind is not ThreadKind.APPLICATION
+        )
+
+    def final_counters(self) -> Dict[int, CounterSet]:
+        """Last observed cumulative counters per thread.
+
+        Uses each thread's most recent snapshot; every thread's EXIT event
+        snapshots it, so completed runs report complete totals.
+        """
+        latest: Dict[int, CounterSet] = {}
+        for event in self.events:
+            for tid, counters in event.snapshots.items():
+                latest[tid] = counters
+        return latest
+
+    def events_between(self, start_ns: float, end_ns: float) -> List[TraceEvent]:
+        """Events with ``start_ns <= time < end_ns`` (time order preserved)."""
+        if end_ns < start_ns:
+            raise TraceError(f"bad window [{start_ns}, {end_ns})")
+        return [e for e in self.events if start_ns <= e.time_ns < end_ns]
+
+    def validate(self) -> None:
+        """Check trace invariants; raise :class:`TraceError` on violation."""
+        prev = -1.0
+        for event in self.events:
+            if event.time_ns < prev:
+                raise TraceError(
+                    f"events out of order at {event.time_ns} (prev {prev})"
+                )
+            prev = event.time_ns
+            for tid in event.running_after:
+                if tid not in event.snapshots:
+                    raise TraceError(
+                        f"event {event.kind} at {event.time_ns}: running thread "
+                        f"{tid} lacks a counter snapshot"
+                    )
+            if event.tid >= 0 and event.tid not in self.threads:
+                raise TraceError(f"event references unknown tid {event.tid}")

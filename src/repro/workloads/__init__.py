@@ -1,0 +1,58 @@
+"""Workloads: the action IR, synthetic generators, and DaCapo benchmark models.
+
+A *program* is a set of threads, each a deterministic sequence of actions
+(timed segments, lock/barrier operations, managed allocations). The paper
+evaluates seven multithreaded Java DaCapo benchmarks (Table I); since the
+original JVM + Sniper stack is not reproducible offline, :mod:`~repro.workloads.dacapo`
+provides synthetic models calibrated to each benchmark's published
+characteristics (execution time and GC time at 1 GHz, memory- vs
+compute-intensity, thread counts, synchronization style).
+"""
+
+from repro.workloads.items import (
+    Acquire,
+    Action,
+    Allocate,
+    BarrierWait,
+    Release,
+    Run,
+    Sleep,
+)
+from repro.workloads.program import Program, ThreadProgram
+from repro.workloads.synthetic import SyntheticWorkloadConfig, build_synthetic_program
+
+
+def __getattr__(name):
+    """Lazily expose the benchmark registry.
+
+    The JVM substrate imports :mod:`repro.workloads.items`, while the
+    registry imports JVM configuration types; loading the registry eagerly
+    here would close an import cycle. PEP 562 lazy attributes keep
+    ``repro.workloads.get_benchmark`` on the public API regardless of
+    import order.
+    """
+    if name in ("benchmark_names", "get_benchmark", "BenchmarkBundle"):
+        from repro.workloads import registry
+
+        return getattr(registry, name)
+    if name in ("get_micro", "micro_names"):
+        from repro.workloads import micro
+
+        return getattr(micro, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Acquire",
+    "Action",
+    "Allocate",
+    "BarrierWait",
+    "Program",
+    "Release",
+    "Run",
+    "Sleep",
+    "SyntheticWorkloadConfig",
+    "ThreadProgram",
+    "benchmark_names",
+    "build_synthetic_program",
+    "get_benchmark",
+]

@@ -1,0 +1,86 @@
+"""The workload action IR.
+
+Threads are deterministic sequences of *actions*. Actions carry only
+frequency-independent, logical information; all timing comes from executing
+them against the machine model at a concrete frequency. This separation is
+what lets the simulator re-run the identical logical workload at different
+frequencies — the ground truth the predictors are evaluated against.
+
+Action kinds
+------------
+
+``Run(segment)``
+    Execute a timed segment (compute / memory / store burst) on the core.
+``Acquire(lock_id)`` / ``Release(lock_id)``
+    Mutex operations. Contended acquires sleep via ``futex_wait``.
+``BarrierWait(barrier_id, parties)``
+    Cyclic barrier across ``parties`` threads.
+``Allocate(n_bytes)``
+    Managed allocation: bumps the nursery, runs zero-initialization store
+    bursts, and may trigger a stop-the-world collection.
+``Sleep(duration_ns)``
+    Timed sleep (futex wait with timeout) — used by service threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.common.validation import check_positive
+from repro.arch.segments import Segment
+
+
+@dataclass(frozen=True)
+class Run:
+    """Execute ``segment`` on the current core."""
+
+    segment: Segment
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Acquire mutex ``lock_id`` (sleeping if contended)."""
+
+    lock_id: int
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release mutex ``lock_id`` (waking the next waiter, if any)."""
+
+    lock_id: int
+
+
+@dataclass(frozen=True)
+class BarrierWait:
+    """Wait at cyclic barrier ``barrier_id`` shared by ``parties`` threads."""
+
+    barrier_id: int
+    parties: int
+
+    def __post_init__(self) -> None:
+        check_positive("parties", self.parties)
+
+
+@dataclass(frozen=True)
+class Allocate:
+    """Allocate ``n_bytes`` from the managed heap (zero-initialized)."""
+
+    n_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive("n_bytes", self.n_bytes)
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Sleep for ``duration_ns`` of wall-clock time (timed futex wait)."""
+
+    duration_ns: float
+
+    def __post_init__(self) -> None:
+        check_positive("duration_ns", self.duration_ns)
+
+
+Action = Union[Run, Acquire, Release, BarrierWait, Allocate, Sleep]

@@ -1,0 +1,82 @@
+"""Benchmark registry: bundles a program with its JVM config and GC model.
+
+A :class:`BenchmarkBundle` carries everything the experiment runner needs
+to simulate one benchmark repeatedly (at several frequencies, under
+governors) while sharing the frequency-independent pieces — most notably
+the GC model's per-cycle program cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Tuple
+
+from repro.arch.specs import MachineSpec, haswell_i7_4770k
+from repro.workloads.dacapo import (
+    TABLE1_EXPECTED,
+    build_dacapo,
+    dacapo_config,
+    dacapo_jvm_config,
+    dacapo_names,
+)
+from repro.workloads.program import Program
+
+if TYPE_CHECKING:  # deferred at runtime: jvm.gc itself imports workloads
+    from repro.jvm.gc import GcModel
+    from repro.jvm.runtime import JvmConfig
+
+
+@dataclass
+class BenchmarkBundle:
+    """One benchmark ready to simulate."""
+
+    name: str
+    program: Program
+    jvm_config: "JvmConfig"
+    spec: MachineSpec = field(default_factory=haswell_i7_4770k)
+    gc_model: "GcModel" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.gc_model is None:
+            from repro.jvm.gc import GcModel
+
+            self.gc_model = GcModel(
+                self.jvm_config.gc, self.spec.dram, self.program.seed
+            )
+
+    @property
+    def type_label(self) -> str:
+        """"M" for memory-intensive, "C" for compute-intensive."""
+        return self.program.tags.get("type", "?")
+
+    @property
+    def is_memory_intensive(self) -> bool:
+        """Paper classification (Table I)."""
+        return self.type_label == "M"
+
+
+def benchmark_names() -> Tuple[str, ...]:
+    """All registered benchmark names (Table I order)."""
+    return dacapo_names()
+
+
+def get_benchmark(name: str, scale: float = 1.0) -> BenchmarkBundle:
+    """Build the ready-to-run bundle for benchmark ``name``.
+
+    ``scale`` shortens the run (1.0 reproduces Table I durations); the
+    per-unit behaviour, and therefore the predictor-error structure, is
+    scale-invariant.
+    """
+    program = build_dacapo(name, scale)
+    return BenchmarkBundle(
+        name=name, program=program, jvm_config=dacapo_jvm_config(name)
+    )
+
+
+__all__ = [
+    "BenchmarkBundle",
+    "TABLE1_EXPECTED",
+    "benchmark_names",
+    "dacapo_config",
+    "get_benchmark",
+]

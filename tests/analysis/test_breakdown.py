@@ -1,0 +1,52 @@
+"""Per-epoch prediction breakdown."""
+
+import pytest
+
+from repro.analysis.breakdown import epoch_error_breakdown
+from repro.core.burst import with_burst
+from repro.core.crit import crit_nonscaling
+from repro.core.predictors import make_predictor
+from repro.sim.run import simulate
+from tests.util import allocating_program, lock_pair_program
+
+
+def test_breakdown_totals_match_dep_prediction():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    breakdown = epoch_error_breakdown(trace, 4.0)
+    direct = make_predictor("DEP").predict_total_ns(trace, 4.0)
+    assert breakdown.total_predicted_ns == pytest.approx(direct, rel=1e-9)
+    assert breakdown.total_measured_ns == pytest.approx(trace.total_ns, rel=1e-9)
+    assert breakdown.speedup() > 1.0
+
+
+def test_burst_estimator_changes_breakdown():
+    trace = simulate(allocating_program(), 1.0).trace
+    plain = epoch_error_breakdown(trace, 4.0, estimator=crit_nonscaling)
+    burst = epoch_error_breakdown(
+        trace, 4.0, estimator=with_burst(crit_nonscaling)
+    )
+    assert burst.total_predicted_ns > plain.total_predicted_ns
+
+
+def test_gc_split_identifies_collector_time():
+    trace = simulate(allocating_program(), 1.0).trace
+    breakdown = epoch_error_breakdown(trace, 4.0)
+    gc_ns, app_ns = breakdown.gc_split()
+    assert gc_ns > 0 and app_ns > 0
+    assert gc_ns + app_ns == pytest.approx(breakdown.total_predicted_ns)
+
+
+def test_top_contributors_sorted():
+    trace = simulate(allocating_program(), 1.0).trace
+    breakdown = epoch_error_breakdown(trace, 4.0)
+    top = breakdown.top_contributors(5)
+    values = [c.predicted_ns for c in top]
+    assert values == sorted(values, reverse=True)
+    assert len(top) <= 5
+
+
+def test_scaling_fraction_bounds():
+    trace = simulate(allocating_program(), 1.0).trace
+    breakdown = epoch_error_breakdown(trace, 4.0)
+    for contribution in breakdown.contributions:
+        assert 0.0 <= contribution.scaling_fraction <= 1.0

@@ -1,0 +1,71 @@
+"""Criticality stacks."""
+
+import pytest
+
+from repro.arch.counters import CounterSet
+from repro.analysis.criticality import (
+    criticality_stack,
+    criticality_stack_from_epochs,
+)
+from repro.core.epochs import Epoch
+from repro.sim.run import simulate
+from tests.util import compute, lock_pair_program, make_program
+
+
+def make_epoch(index, start, end, tids):
+    return Epoch(
+        index=index, start_ns=start, end_ns=end,
+        thread_deltas={tid: CounterSet(active_ns=end - start) for tid in tids},
+        stall_tid=None, during_gc=False,
+    )
+
+
+def test_shares_split_evenly_among_runners():
+    epochs = [
+        make_epoch(0, 0, 100, (0, 1)),   # 50/50
+        make_epoch(1, 100, 200, (0,)),   # 100 to t0
+    ]
+    stack = criticality_stack_from_epochs(epochs, total_ns=200.0)
+    assert stack.shares_ns[0] == pytest.approx(150.0)
+    assert stack.shares_ns[1] == pytest.approx(50.0)
+    assert stack.most_critical_tid == 0
+    assert stack.share_of(0) == pytest.approx(0.75)
+
+
+def test_idle_time_tracked_separately():
+    epochs = [
+        make_epoch(0, 0, 100, (0,)),
+        make_epoch(1, 100, 150, ()),
+    ]
+    stack = criticality_stack_from_epochs(epochs, total_ns=150.0)
+    assert stack.idle_ns == pytest.approx(50.0)
+    assert sum(stack.shares_ns.values()) + stack.idle_ns == pytest.approx(150.0)
+
+
+def test_lock_program_criticality_structure():
+    # Thread 1 both waits on the lock AND finishes last: it accumulates
+    # the solo tail and is the most critical thread overall, while thread
+    # 0's share exceeds half its busy time thanks to its solo critical
+    # section (thread 1 asleep on the futex).
+    trace = simulate(lock_pair_program(), 1.0).trace
+    stack = criticality_stack(trace)
+    app = trace.app_tids()
+    assert stack.most_critical_tid == app[1]
+    shares = sum(stack.shares_ns.values()) + stack.idle_ns
+    assert shares == pytest.approx(trace.total_ns, rel=1e-6)
+    busy0 = trace.final_counters()[app[0]].active_ns
+    assert stack.shares_ns[app[0]] > busy0 / 2
+
+
+def test_balanced_threads_near_equal_shares():
+    program = make_program([[compute(1_000_000)], [compute(1_000_000)]])
+    trace = simulate(program, 1.0).trace
+    stack = criticality_stack(trace)
+    assert stack.share_of(0) == pytest.approx(stack.share_of(1), abs=0.05)
+
+
+def test_ranked_order():
+    epochs = [make_epoch(0, 0, 100, (0,)), make_epoch(1, 100, 130, (1,))]
+    stack = criticality_stack_from_epochs(epochs, total_ns=130.0)
+    ranked = stack.ranked()
+    assert [tid for tid, _ in ranked] == [0, 1]

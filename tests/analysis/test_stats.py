@@ -1,0 +1,51 @@
+"""Trace statistics."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.analysis.stats import trace_stats
+from repro.sim.run import simulate
+from repro.sim.trace import SimulationTrace
+from tests.util import allocating_program, lock_pair_program, make_program, compute
+
+
+def test_basic_stats_on_lock_program():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    stats = trace_stats(trace)
+    assert stats.n_app_threads == 2
+    assert stats.n_epochs >= 3
+    assert stats.futex_waits >= 1
+    assert stats.totals.insns > 0
+    assert 0 < stats.core_utilization <= 1.0
+    assert stats.mean_epoch_ns > 0
+    assert stats.median_epoch_ns > 0
+
+
+def test_gc_stats_match_trace():
+    trace = simulate(allocating_program(), 1.0).trace
+    stats = trace_stats(trace)
+    assert stats.gc_cycles == trace.gc_cycles
+    assert len(stats.gc_pause_ns) == trace.gc_cycles
+    assert sum(stats.gc_pause_ns) == pytest.approx(trace.gc_time_ns, rel=1e-9)
+    assert stats.gc_fraction > 0
+    assert stats.sqfull_share > 0  # zero-init bursts
+
+
+def test_summary_rows_render():
+    trace = simulate(make_program([[compute()]]), 2.0).trace
+    rows = trace_stats(trace).summary_rows()
+    keys = [key for key, _ in rows]
+    assert "GC" in keys and "epochs" in keys
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError):
+        trace_stats(SimulationTrace(program_name="x"))
+
+
+def test_busy_by_thread_matches_counters():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    stats = trace_stats(trace)
+    finals = trace.final_counters()
+    for tid, busy in stats.busy_by_thread.items():
+        assert busy == finals[tid].active_ns

@@ -1,0 +1,119 @@
+"""Core timing model: scaling, overlap, counters."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.core import CoreModel
+from repro.arch.dram import DramConfig
+from repro.arch.segments import ComputeSegment, MemorySegment, MissCluster, StoreBurstSegment
+from repro.arch.specs import MachineSpec, haswell_i7_4770k
+
+
+def make_core(kappa=0.0):
+    spec = MachineSpec(dram=DramConfig(queue_freq_sensitivity_per_ghz=kappa))
+    return CoreModel(spec)
+
+
+def test_compute_scales_exactly_with_frequency():
+    core = make_core()
+    seg = ComputeSegment(insns=4000, cpi=0.5)
+    t1 = core.time_segment(seg, 1.0)
+    t4 = core.time_segment(seg, 4.0)
+    assert t1.wall_ns == pytest.approx(2000.0)
+    assert t4.wall_ns == pytest.approx(500.0)
+    assert t1.counters.insns == 4000
+    assert t1.counters.crit_ns == 0.0
+
+
+def test_memory_chain_does_not_scale():
+    core = make_core()
+    big_chain = 5000.0  # much larger than any hide window
+    seg = MemorySegment.from_clusters(
+        insns=1000, cpi=0.5, clusters=[MissCluster(1, big_chain)]
+    )
+    t1 = core.time_segment(seg, 1.0)
+    t4 = core.time_segment(seg, 4.0)
+    # The chain latency itself is frequency-invariant: what scales is the
+    # compute minus the (also frequency-scaled) overlap hidden under the
+    # chain. wall(f) = (compute_cycles - hide_cycles)/f + chain.
+    spec = core.spec
+    hide_cycles = int(spec.core.rob_entries * spec.core.rob_hide_fraction) * 0.5
+    scaling_cycles = 1000 * 0.5 - hide_cycles
+    assert t1.wall_ns == pytest.approx(scaling_cycles / 1.0 + big_chain)
+    assert t4.wall_ns == pytest.approx(scaling_cycles / 4.0 + big_chain)
+
+
+def test_crit_counter_records_full_chain():
+    core = make_core()
+    seg = MemorySegment.from_clusters(
+        insns=1000, cpi=0.5,
+        clusters=[MissCluster(2, 150.0), MissCluster(1, 60.0)],
+    )
+    t = core.time_segment(seg, 1.0)
+    assert t.counters.crit_ns == pytest.approx(210.0)
+    assert t.counters.leading_ns == pytest.approx(75.0 + 60.0)
+
+
+def test_overlap_hides_short_chains_at_low_frequency():
+    core = make_core()
+    spec = core.spec
+    hide_1ghz = spec.core.rob_entries * spec.core.rob_hide_fraction * 0.5 / 1.0
+    short_chain = hide_1ghz * 0.9
+    seg = MemorySegment.from_clusters(
+        insns=100_000, cpi=0.5, clusters=[MissCluster(1, short_chain)]
+    )
+    t1 = core.time_segment(seg, 1.0)
+    # Fully hidden: wall equals pure compute time.
+    assert t1.wall_ns == pytest.approx(100_000 * 0.5)
+    # At 4 GHz the hide window shrinks 4x: part of the chain is exposed.
+    t4 = core.time_segment(seg, 4.0)
+    assert t4.wall_ns > 100_000 * 0.5 / 4
+
+
+def test_stall_counter_below_crit():
+    core = make_core()
+    seg = MemorySegment.from_clusters(
+        insns=2000, cpi=0.5, clusters=[MissCluster(1, 300.0)]
+    )
+    t = core.time_segment(seg, 2.0)
+    assert 0.0 < t.counters.stall_ns < t.counters.crit_ns
+
+
+def test_queue_sensitivity_raises_latency_with_frequency():
+    core = make_core(kappa=0.05)
+    seg = MemorySegment.from_clusters(
+        insns=100, cpi=0.5, clusters=[MissCluster(1, 1000.0)]
+    )
+    c1 = core.time_segment(seg, 1.0).counters.crit_ns
+    c4 = core.time_segment(seg, 4.0).counters.crit_ns
+    assert c1 == pytest.approx(1000.0)
+    assert c4 == pytest.approx(1000.0 * 1.15)
+
+
+def test_store_burst_counters():
+    core = CoreModel(haswell_i7_4770k())
+    seg = StoreBurstSegment(n_stores=4096, drain_ns_per_store=1.5)
+    t = core.time_segment(seg, 4.0)
+    assert t.counters.stores == 4096
+    assert t.counters.sqfull_ns > 0
+    assert t.counters.crit_ns == 0.0  # invisible to CRIT
+    assert t.wall_ns == t.counters.active_ns
+
+
+def test_unknown_segment_rejected():
+    core = make_core()
+    with pytest.raises(Exception):
+        core.time_segment(object(), 1.0)
+
+
+def test_active_ns_equals_wall_for_all_kinds():
+    core = make_core()
+    segments = [
+        ComputeSegment(insns=100, cpi=0.5),
+        MemorySegment.from_clusters(100, 0.5, [MissCluster(1, 90.0)]),
+        StoreBurstSegment(n_stores=500, drain_ns_per_store=1.0),
+    ]
+    for seg in segments:
+        timing = core.time_segment(seg, 2.0)
+        assert timing.counters.active_ns == pytest.approx(timing.wall_ns)

@@ -1,0 +1,46 @@
+"""DVFS domain: set points and transitions."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.arch.frequency import DvfsDomain
+from repro.arch.specs import haswell_i7_4770k
+
+
+def test_set_points_cover_range_with_step():
+    domain = DvfsDomain(haswell_i7_4770k())
+    points = domain.set_points
+    assert points[0] == 1.0
+    assert points[-1] == 4.0
+    assert len(points) == 25
+    assert points[1] - points[0] == pytest.approx(0.125)
+
+
+def test_initial_frequency_defaults_to_max():
+    assert DvfsDomain(haswell_i7_4770k()).current_freq_ghz == 4.0
+
+
+def test_validate_rejects_off_grid():
+    domain = DvfsDomain(haswell_i7_4770k())
+    assert domain.validate(2.125) == 2.125
+    with pytest.raises(ConfigError):
+        domain.validate(2.1)
+
+
+def test_nearest():
+    domain = DvfsDomain(haswell_i7_4770k())
+    assert domain.nearest(2.13) == 2.125
+    assert domain.nearest(0.2) == 1.0
+    assert domain.nearest(9.0) == 4.0
+
+
+def test_transition_accounting():
+    spec = haswell_i7_4770k()
+    domain = DvfsDomain(spec)
+    assert domain.set_frequency(4.0) == 0.0  # no-op
+    cost = domain.set_frequency(2.0)
+    assert cost == spec.dvfs_transition_ns
+    assert domain.transitions == 1
+    domain.set_frequency(3.0)
+    assert domain.transition_time_ns == pytest.approx(2 * spec.dvfs_transition_ns)
+    assert domain.current_freq_ghz == 3.0

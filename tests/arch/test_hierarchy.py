@@ -1,0 +1,63 @@
+"""Cache hierarchy and miss-profile extraction."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cache import CacheConfig
+from repro.arch.hierarchy import CacheHierarchy, MissProfile
+
+
+def make_hierarchy():
+    return CacheHierarchy(
+        l1d=CacheConfig("L1D", 4 * 1024, 4, 64, 2),
+        l2=CacheConfig("L2", 16 * 1024, 8, 64, 11),
+        l3=CacheConfig("L3", 64 * 1024, 16, 64, 40),
+    )
+
+
+def test_profile_fractions_validated():
+    with pytest.raises(ValueError):
+        MissProfile(l1=0.5, l2=0.5, l3=0.5, dram=0.0)
+    profile = MissProfile(l1=0.7, l2=0.2, l3=0.05, dram=0.05)
+    assert profile.llc_miss_rate == pytest.approx(0.05)
+
+
+def test_access_fills_lower_levels():
+    h = make_hierarchy()
+    assert h.access(0) == "dram"
+    assert h.access(0) == "l1"
+    h.l1d.reset()
+    assert h.access(0) == "l2"
+
+
+def test_small_working_set_mostly_l1():
+    h = make_hierarchy()
+    rng = np.random.default_rng(1)
+    profile = h.profile_pattern(rng, working_set_bytes=2 * 1024, n_samples=5000)
+    assert profile.l1 > 0.95
+
+
+def test_huge_random_working_set_hits_dram():
+    h = make_hierarchy()
+    rng = np.random.default_rng(1)
+    profile = h.profile_pattern(
+        rng, working_set_bytes=16 << 20, random_fraction=1.0, n_samples=5000
+    )
+    assert profile.dram > 0.5
+
+
+def test_mid_working_set_served_by_l2_or_l3():
+    h = make_hierarchy()
+    rng = np.random.default_rng(1)
+    profile = h.profile_pattern(rng, working_set_bytes=12 * 1024, n_samples=5000)
+    assert profile.l2 + profile.l1 > 0.9
+
+
+def test_profile_deterministic_given_rng_seed():
+    p1 = make_hierarchy().profile_pattern(
+        np.random.default_rng(7), 32 * 1024, random_fraction=0.3, n_samples=3000
+    )
+    p2 = make_hierarchy().profile_pattern(
+        np.random.default_rng(7), 32 * 1024, random_fraction=0.3, n_samples=3000
+    )
+    assert p1 == p2

@@ -1,0 +1,67 @@
+"""Segment IR validation and construction."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.arch.segments import (
+    ComputeSegment,
+    MemorySegment,
+    MissCluster,
+    StoreBurstSegment,
+)
+
+
+def test_compute_segment_validation():
+    ComputeSegment(insns=1, cpi=0.1)
+    with pytest.raises(Exception):
+        ComputeSegment(insns=0, cpi=0.5)
+    with pytest.raises(Exception):
+        ComputeSegment(insns=10, cpi=0.0)
+
+
+def test_miss_cluster_leading():
+    cluster = MissCluster(depth=4, chain_ns=200.0)
+    assert cluster.leading_ns == pytest.approx(50.0)
+
+
+def test_memory_segment_from_clusters():
+    clusters = [MissCluster(1, 60.0), MissCluster(2, 150.0)]
+    seg = MemorySegment.from_clusters(insns=1000, cpi=0.5, clusters=clusters)
+    assert seg.n_clusters == 2
+    assert seg.total_chain_ns == pytest.approx(210.0)
+    assert seg.leading_total_ns == pytest.approx(60.0 + 75.0)
+
+
+def test_memory_segment_empty():
+    seg = MemorySegment.from_clusters(insns=1000, cpi=0.5)
+    assert seg.n_clusters == 0
+    assert seg.total_chain_ns == 0.0
+
+
+def test_memory_segment_array_is_readonly():
+    seg = MemorySegment.from_clusters(
+        insns=10, cpi=0.5, clusters=[MissCluster(1, 50.0)]
+    )
+    with pytest.raises(ValueError):
+        seg.chain_ns[0] = 1.0
+
+
+def test_memory_segment_rejects_bad_arrays():
+    with pytest.raises(ConfigError):
+        MemorySegment(insns=10, cpi=0.5, chain_ns=np.array([[1.0]]),
+                      leading_total_ns=1.0)
+    with pytest.raises(ConfigError):
+        MemorySegment(insns=10, cpi=0.5, chain_ns=np.array([0.0]),
+                      leading_total_ns=0.0)
+    with pytest.raises(ConfigError):
+        MemorySegment(insns=10, cpi=0.5, chain_ns=np.zeros(0),
+                      leading_total_ns=5.0)
+
+
+def test_store_burst_validation():
+    StoreBurstSegment(n_stores=1, drain_ns_per_store=0.5)
+    with pytest.raises(Exception):
+        StoreBurstSegment(n_stores=0, drain_ns_per_store=0.5)
+    with pytest.raises(Exception):
+        StoreBurstSegment(n_stores=5, drain_ns_per_store=0.0)

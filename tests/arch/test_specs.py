@@ -1,0 +1,50 @@
+"""Machine specification (Table II)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.arch.specs import CoreSpec, MachineSpec, haswell_i7_4770k
+
+
+def test_default_spec_matches_paper_table2():
+    spec = haswell_i7_4770k()
+    assert spec.n_cores == 4
+    assert spec.min_freq_ghz == 1.0
+    assert spec.max_freq_ghz == 4.0
+    assert spec.l1d.size_bytes == 32 * 1024
+    assert spec.l2.size_bytes == 256 * 1024
+    assert spec.l3.size_bytes == 4 * 1024 * 1024
+    assert spec.l1d.latency_cycles == 2
+    assert spec.l2.latency_cycles == 11
+    assert spec.l3.latency_cycles == 40
+    assert spec.dvfs_transition_ns == 2000.0
+
+
+def test_l3_latency_in_ns_uses_uncore_clock():
+    spec = haswell_i7_4770k()
+    assert spec.l3_latency_ns == pytest.approx(40 / 1.5)
+
+
+def test_frequencies_are_rounded_and_complete():
+    freqs = haswell_i7_4770k().frequencies()
+    assert freqs == tuple(round(1.0 + 0.125 * i, 6) for i in range(25))
+
+
+def test_table_rows_render():
+    rows = haswell_i7_4770k().table_rows()
+    assert any("4 cores" in value for _, value in rows)
+    assert any("125 MHz" in value for _, value in rows)
+
+
+def test_core_spec_validation():
+    with pytest.raises(ConfigError):
+        CoreSpec(rob_hide_fraction=1.5)
+    with pytest.raises(ConfigError):
+        CoreSpec(width=0)
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ConfigError):
+        MachineSpec(min_freq_ghz=4.0, max_freq_ghz=1.0)
+    with pytest.raises(ConfigError):
+        MachineSpec(n_cores=0)

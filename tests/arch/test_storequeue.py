@@ -1,0 +1,84 @@
+"""Store-queue fluid model (BURST's substrate)."""
+
+import pytest
+
+from repro.arch.storequeue import StoreQueueConfig, StoreQueueModel
+
+
+def model(entries=42, issue=2.0):
+    return StoreQueueModel(StoreQueueConfig(entries=entries), issue)
+
+
+def test_slow_producer_never_stalls():
+    # 0.5 stores/cycle at 1 GHz = 0.5/ns < drain 1/1.0ns.
+    m = model(issue=0.5)
+    t = m.burst(10_000, drain_ns_per_store=1.0, freq_ghz=1.0)
+    assert not t.stalled
+    assert t.sq_full_ns == 0.0
+    assert t.wall_ns == pytest.approx(t.issue_ns)
+
+
+def test_short_burst_fits_in_queue():
+    m = model(entries=42)
+    # Fast producer but only 30 stores: ends before the queue fills.
+    t = m.burst(30, drain_ns_per_store=1.5, freq_ghz=4.0)
+    assert not t.stalled
+    assert t.sq_full_ns == 0.0
+
+
+def test_long_burst_stalls_and_is_drain_bound():
+    m = model(entries=42, issue=2.0)
+    n, drain = 4096, 1.5
+    t = m.burst(n, drain_ns_per_store=drain, freq_ghz=4.0)
+    assert t.stalled
+    assert t.sq_full_ns > 0
+    # Wall time approaches the bandwidth floor (n - Q) * drain.
+    floor = (n - 42) * drain
+    assert t.wall_ns >= floor
+    assert t.wall_ns <= n * drain + 50.0
+
+
+def test_wall_time_decreases_with_frequency_but_saturates():
+    m = model()
+    n, drain = 4096, 1.5
+    walls = [m.burst(n, drain, f).wall_ns for f in (1.0, 2.0, 4.0)]
+    assert walls[0] >= walls[1] >= walls[2]
+    # Saturation: going 2 -> 4 GHz buys almost nothing for a long burst.
+    gain_low = walls[0] - walls[1]
+    gain_high = walls[1] - walls[2]
+    assert gain_high <= gain_low + 1e-9
+
+
+def test_sq_full_time_grows_with_frequency():
+    m = model()
+    t1 = m.burst(4096, 1.5, 1.0)
+    t4 = m.burst(4096, 1.5, 4.0)
+    assert t4.sq_full_ns >= t1.sq_full_ns
+
+
+def test_issue_time_scales_inverse_frequency():
+    m = model()
+    t1 = m.burst(1000, 1.5, 1.0)
+    t4 = m.burst(1000, 1.5, 4.0)
+    assert t1.issue_ns == pytest.approx(4 * t4.issue_ns)
+
+
+def test_exact_fill_boundary():
+    # Producer at 2/ns, drain 1/ns -> queue grows at 1/ns; fills at 42 ns,
+    # by which time 84 stores have issued. An 84-store burst is the edge.
+    m = model(entries=42, issue=2.0)
+    edge = m.burst(84, 1.0, 1.0)
+    assert not edge.stalled
+    over = m.burst(85, 1.0, 1.0)
+    assert over.stalled
+    assert over.sq_full_ns == pytest.approx(1.0, abs=1e-6)
+
+
+def test_invalid_inputs_rejected():
+    m = model()
+    with pytest.raises(Exception):
+        m.burst(0, 1.0, 1.0)
+    with pytest.raises(Exception):
+        m.burst(10, -1.0, 1.0)
+    with pytest.raises(Exception):
+        m.burst(10, 1.0, 0.0)

@@ -1,0 +1,32 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigError,
+    PredictionError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [ConfigError, PredictionError, SimulationError, TraceError]
+)
+def test_all_library_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_catching_repro_error_does_not_mask_programming_errors():
+    assert not issubclass(KeyError, ReproError)
+    assert not issubclass(TypeError, ReproError)
+
+
+def test_error_categories_are_distinct():
+    kinds = {ConfigError, PredictionError, SimulationError, TraceError}
+    for a in kinds:
+        for b in kinds - {a}:
+            assert not issubclass(a, b)

@@ -1,0 +1,38 @@
+"""ASCII table / bar chart rendering."""
+
+import pytest
+
+from repro.common.tables import format_bar_chart, format_table
+
+
+def test_table_alignment_and_title():
+    text = format_table(
+        ["name", "value"], [("alpha", 1), ("b", 22)], title="My Table"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert "name" in lines[1] and "value" in lines[1]
+    # All data rows have equal width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [("only-one",)])
+
+
+def test_bar_chart_signs():
+    text = format_bar_chart(["up", "down"], [10.0, -5.0], width=10, unit="%")
+    lines = text.splitlines()
+    assert "+" in lines[0] and "+10.0%" in lines[0]
+    assert "-" in lines[1] and "-5.0%" in lines[1]
+
+
+def test_bar_chart_requires_matching_lengths():
+    with pytest.raises(ValueError):
+        format_bar_chart(["a"], [1.0, 2.0])
+
+
+def test_bar_chart_empty_is_title_only():
+    assert format_bar_chart([], [], title="t") == "t"

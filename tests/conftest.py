@@ -1,0 +1,9 @@
+"""Pytest configuration: make `tests.util` importable and set defaults."""
+
+import os
+import sys
+
+# Tests always run the miniature workloads; never inherit a user's scale.
+os.environ.setdefault("REPRO_SCALE", "0.05")
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,36 @@
+"""The with_burst estimator combinator."""
+
+import pytest
+
+from repro.arch.counters import CounterSet
+from repro.core.burst import with_burst
+from repro.core.crit import crit_nonscaling
+from repro.core.leadingloads import leading_loads_nonscaling
+from repro.core.stalltime import stall_time_nonscaling
+
+
+def test_wraps_any_estimator():
+    counters = CounterSet(
+        crit_ns=100.0, leading_ns=60.0, stall_ns=40.0, sqfull_ns=25.0
+    )
+    assert with_burst(crit_nonscaling)(counters) == pytest.approx(125.0)
+    assert with_burst(leading_loads_nonscaling)(counters) == pytest.approx(85.0)
+    assert with_burst(stall_time_nonscaling)(counters) == pytest.approx(65.0)
+
+
+def test_zero_sqfull_is_identity():
+    counters = CounterSet(crit_ns=100.0)
+    assert with_burst(crit_nonscaling)(counters) == crit_nonscaling(counters)
+
+
+def test_double_wrapping_counts_twice_by_design():
+    # The combinator is a plain sum; callers must not wrap twice. This
+    # test documents the behaviour so a future "idempotent" change is a
+    # conscious decision.
+    counters = CounterSet(crit_ns=10.0, sqfull_ns=5.0)
+    twice = with_burst(with_burst(crit_nonscaling))
+    assert twice(counters) == pytest.approx(20.0)
+
+
+def test_name_reflects_composition():
+    assert with_burst(crit_nonscaling).__name__ == "crit_nonscaling+burst"

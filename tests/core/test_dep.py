@@ -1,0 +1,114 @@
+"""DEP predictor and Algorithm 1."""
+
+import pytest
+
+from repro.arch.counters import CounterSet
+from repro.core.crit import crit_nonscaling
+from repro.core.dep import DepPredictor
+from repro.core.epochs import Epoch
+from repro.sim.run import simulate
+from tests.util import allocating_program, barrier_program, lock_pair_program
+
+
+def make_epoch(index, durations, stall_tid=None, nonscaling=None):
+    """Epoch with per-thread active times (pure scaling by default)."""
+    deltas = {}
+    for tid, active in durations.items():
+        crit = (nonscaling or {}).get(tid, 0.0)
+        deltas[tid] = CounterSet(active_ns=active, crit_ns=crit)
+    duration = max(durations.values()) if durations else 0.0
+    return Epoch(
+        index=index, start_ns=0.0, end_ns=duration, thread_deltas=deltas,
+        stall_tid=stall_tid, during_gc=False,
+    )
+
+
+class TestAlgorithm1:
+    def test_identity_at_base_frequency(self):
+        predictor = DepPredictor()
+        epochs = [
+            make_epoch(0, {0: 100.0, 1: 100.0}),
+            make_epoch(1, {0: 50.0, 1: 50.0}, stall_tid=1),
+        ]
+        assert predictor.predict_epochs(epochs, 2.0, 2.0) == pytest.approx(150.0)
+
+    def test_pure_scaling_epochs(self):
+        predictor = DepPredictor()
+        epochs = [make_epoch(0, {0: 100.0, 1: 100.0})]
+        assert predictor.predict_epochs(epochs, 1.0, 2.0) == pytest.approx(50.0)
+
+    def test_nonscaling_thread_becomes_critical(self):
+        # Thread 1 is memory-bound (all non-scaling): at 4 GHz it
+        # dominates the epoch even though both measured 100 ns.
+        predictor = DepPredictor()
+        epochs = [
+            make_epoch(0, {0: 100.0, 1: 100.0}, nonscaling={1: 100.0})
+        ]
+        assert predictor.predict_epochs(epochs, 1.0, 4.0) == pytest.approx(100.0)
+
+    def test_across_epoch_slack_carries(self):
+        # Epoch 1: thread 0 critical (thread 1 finishes early -> slack).
+        # Epoch 2: thread 1's work alone would exceed the epoch, but its
+        # slack from epoch 1 absorbs the excess.
+        predictor = DepPredictor(across_epoch_ctp=True)
+        epochs = [
+            make_epoch(0, {0: 100.0, 1: 100.0}, nonscaling={0: 100.0}),
+            make_epoch(1, {0: 100.0, 1: 100.0}, nonscaling={1: 100.0}),
+        ]
+        across = predictor.predict_epochs(epochs, 1.0, 4.0)
+        per = DepPredictor(across_epoch_ctp=False).predict_epochs(
+            epochs, 1.0, 4.0
+        )
+        # Per-epoch: 100 + 100. Across: second epoch's critical thread had
+        # 75 ns of slack, so it only extends the run by 25 ns.
+        assert per == pytest.approx(200.0)
+        assert across == pytest.approx(125.0)
+
+    def test_stall_tid_resets_delta(self):
+        predictor = DepPredictor(across_epoch_ctp=True)
+        epochs = [
+            make_epoch(0, {0: 100.0, 1: 100.0}, nonscaling={0: 100.0},
+                       stall_tid=1),
+            make_epoch(1, {0: 100.0, 1: 100.0}, nonscaling={1: 100.0}),
+        ]
+        # Thread 1's slack was wiped when it went to sleep, so the second
+        # epoch costs its full 100 ns.
+        assert predictor.predict_epochs(epochs, 1.0, 4.0) == pytest.approx(200.0)
+
+    def test_idle_epochs_kept_at_measured_duration(self):
+        predictor = DepPredictor()
+        idle = Epoch(index=0, start_ns=0.0, end_ns=500.0, thread_deltas={},
+                     stall_tid=None, during_gc=False)
+        assert predictor.predict_epochs([idle], 1.0, 4.0) == pytest.approx(500.0)
+
+
+class TestOnTraces:
+    @pytest.mark.parametrize("program_builder", [
+        lock_pair_program, barrier_program, allocating_program,
+    ])
+    def test_identity_on_real_traces(self, program_builder):
+        program = program_builder()
+        result = simulate(program, 2.0)
+        predictor = DepPredictor()
+        predicted = predictor.predict_total_ns(result.trace, 2.0)
+        assert predicted == pytest.approx(result.total_ns, rel=0.01)
+
+    def test_dep_beats_naive_on_lock_program(self):
+        from repro.core.mcrit import MCritPredictor
+
+        program = lock_pair_program()
+        base = simulate(program, 1.0)
+        actual = simulate(program, 4.0).total_ns
+        dep_err = abs(
+            DepPredictor(estimator=crit_nonscaling).predict_total_ns(
+                base.trace, 4.0
+            ) / actual - 1
+        )
+        mcrit_err = abs(
+            MCritPredictor().predict_total_ns(base.trace, 4.0) / actual - 1
+        )
+        assert dep_err <= mcrit_err + 0.01
+
+    def test_describe(self):
+        assert "across-epoch" in DepPredictor().describe()
+        assert "per-epoch" in DepPredictor(across_epoch_ctp=False).describe()

@@ -1,0 +1,70 @@
+"""Epoch decomposition."""
+
+import pytest
+
+from repro.core.epochs import extract_epochs, total_epoch_time
+from repro.sim.run import simulate
+from repro.sim.trace import EventKind
+from tests.util import allocating_program, barrier_program, lock_pair_program
+
+
+def test_epochs_partition_the_run():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    epochs = extract_epochs(trace.events)
+    assert epochs
+    assert total_epoch_time(epochs) == pytest.approx(trace.total_ns, rel=1e-9)
+    for a, b in zip(epochs, epochs[1:]):
+        assert b.start_ns == pytest.approx(a.end_ns)
+
+
+def test_active_threads_cover_full_epoch():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    for epoch in extract_epochs(trace.events):
+        for tid, delta in epoch.thread_deltas.items():
+            assert delta.active_ns == pytest.approx(epoch.duration_ns, rel=1e-6), (
+                f"thread {tid} active {delta.active_ns} in epoch of "
+                f"{epoch.duration_ns}"
+            )
+
+
+def test_lock_wait_creates_single_thread_epoch():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    epochs = extract_epochs(trace.events)
+    # While t1 sleeps on the lock, only t0 runs.
+    single = [e for e in epochs if e.active_tids == (0,)]
+    assert single
+
+
+def test_stall_tid_set_on_wait_boundaries():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    epochs = extract_epochs(trace.events)
+    stallers = [e.stall_tid for e in epochs if e.stall_tid is not None]
+    assert 1 in stallers  # thread 1 slept on the contended lock
+
+
+def test_gc_epochs_flagged():
+    trace = simulate(allocating_program(), 1.0).trace
+    epochs = extract_epochs(trace.events)
+    gc_epochs = [e for e in epochs if e.during_gc]
+    app_epochs = [e for e in epochs if not e.during_gc]
+    assert gc_epochs and app_epochs
+    gc_time = sum(e.duration_ns for e in gc_epochs)
+    assert gc_time == pytest.approx(trace.gc_time_ns, rel=0.01)
+
+
+def test_barrier_epochs_shrink_running_set():
+    trace = simulate(barrier_program(n_threads=3, rounds=1), 1.0).trace
+    epochs = extract_epochs(trace.events)
+    sizes = [len(e.thread_deltas) for e in epochs]
+    # As threads reach the barrier the running set shrinks to 1.
+    assert 1 in sizes and 3 in sizes
+
+
+def test_empty_events_no_epochs():
+    assert extract_epochs([]) == []
+
+
+def test_epoch_indices_sequential():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    epochs = extract_epochs(trace.events)
+    assert [e.index for e in epochs] == list(range(len(epochs)))

@@ -1,0 +1,38 @@
+"""Error metrics."""
+
+import pytest
+
+from repro.common.errors import PredictionError
+from repro.core.evaluate import evaluate_predictor, mean_absolute_error, prediction_error
+from repro.core.predictors import make_predictor
+from repro.sim.run import simulate
+from tests.util import lock_pair_program
+
+
+def test_prediction_error_signs():
+    assert prediction_error(90.0, 100.0) == pytest.approx(-0.10)
+    assert prediction_error(110.0, 100.0) == pytest.approx(+0.10)
+    assert prediction_error(100.0, 100.0) == 0.0
+
+
+def test_prediction_error_rejects_bad_actual():
+    with pytest.raises(PredictionError):
+        prediction_error(1.0, 0.0)
+
+
+def test_mean_absolute_error():
+    assert mean_absolute_error([-0.1, 0.3]) == pytest.approx(0.2)
+    with pytest.raises(PredictionError):
+        mean_absolute_error([])
+
+
+def test_evaluate_predictor_end_to_end():
+    program = lock_pair_program()
+    base = simulate(program, 1.0)
+    actuals = {f: simulate(program, f).total_ns for f in (2.0, 4.0)}
+    errors = evaluate_predictor(
+        make_predictor("DEP+BURST"), base.trace, actuals
+    )
+    assert set(errors) == {2.0, 4.0}
+    for err in errors.values():
+        assert abs(err) < 0.10

@@ -1,0 +1,60 @@
+"""Scaling/non-scaling arithmetic."""
+
+import pytest
+
+from repro.common.errors import PredictionError
+from repro.arch.counters import CounterSet
+from repro.core.model import TimeDecomposition, decompose
+
+
+def test_prediction_formula():
+    dec = TimeDecomposition(scaling_ns=300.0, nonscaling_ns=100.0)
+    assert dec.total_ns == 400.0
+    # Scaling part shrinks 3x from 1 -> 3 GHz.
+    assert dec.predict_ns(1.0, 3.0) == pytest.approx(200.0)
+    # And grows 3x the other way.
+    assert dec.predict_ns(3.0, 1.0) == pytest.approx(1000.0)
+
+
+def test_identity_at_same_frequency():
+    dec = TimeDecomposition(scaling_ns=123.0, nonscaling_ns=77.0)
+    assert dec.predict_ns(2.5, 2.5) == pytest.approx(dec.total_ns)
+
+
+def test_negative_components_rejected():
+    with pytest.raises(PredictionError):
+        TimeDecomposition(scaling_ns=-1.0, nonscaling_ns=0.0)
+    with pytest.raises(PredictionError):
+        TimeDecomposition(scaling_ns=0.0, nonscaling_ns=-1.0)
+
+
+def test_invalid_frequencies_rejected():
+    dec = TimeDecomposition(scaling_ns=1.0, nonscaling_ns=1.0)
+    with pytest.raises(PredictionError):
+        dec.predict_ns(0.0, 1.0)
+    with pytest.raises(PredictionError):
+        dec.predict_ns(1.0, -2.0)
+
+
+def test_decompose_clamps_estimator():
+    counters = CounterSet(crit_ns=150.0)
+    dec = decompose(100.0, counters, lambda c: c.crit_ns)
+    assert dec.nonscaling_ns == 100.0
+    assert dec.scaling_ns == 0.0
+    dec2 = decompose(100.0, counters, lambda c: -5.0)
+    assert dec2.nonscaling_ns == 0.0
+
+
+def test_decompose_rejects_negative_wall():
+    with pytest.raises(PredictionError):
+        decompose(-1.0, CounterSet(), lambda c: 0.0)
+
+
+def test_pure_compute_prediction_is_linear():
+    dec = TimeDecomposition(scaling_ns=400.0, nonscaling_ns=0.0)
+    assert dec.predict_ns(1.0, 4.0) == pytest.approx(100.0)
+
+
+def test_pure_memory_prediction_is_flat():
+    dec = TimeDecomposition(scaling_ns=0.0, nonscaling_ns=400.0)
+    assert dec.predict_ns(1.0, 4.0) == pytest.approx(400.0)

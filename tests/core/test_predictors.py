@@ -1,0 +1,53 @@
+"""Predictor factory/registry."""
+
+import pytest
+
+from repro.common.errors import PredictionError
+from repro.core.coop import CoopPredictor
+from repro.core.dep import DepPredictor
+from repro.core.mcrit import MCritPredictor
+from repro.core.predictors import make_predictor, predictor_names
+
+
+def test_names_in_evaluation_order():
+    assert predictor_names() == [
+        "M+CRIT", "M+CRIT+BURST", "COOP", "COOP+BURST", "DEP", "DEP+BURST",
+    ]
+
+
+@pytest.mark.parametrize("name,cls", [
+    ("M+CRIT", MCritPredictor),
+    ("COOP", CoopPredictor),
+    ("DEP", DepPredictor),
+    ("M+CRIT+BURST", MCritPredictor),
+    ("DEP+BURST", DepPredictor),
+])
+def test_factory_builds_right_class(name, cls):
+    predictor = make_predictor(name)
+    assert isinstance(predictor, cls)
+    assert predictor.name == name
+
+
+def test_burst_changes_estimator():
+    from repro.arch.counters import CounterSet
+
+    counters = CounterSet(crit_ns=10.0, sqfull_ns=5.0)
+    plain = make_predictor("DEP")
+    burst = make_predictor("DEP+BURST")
+    assert plain.estimator(counters) == 10.0
+    assert burst.estimator(counters) == 15.0
+
+
+def test_case_insensitive():
+    assert make_predictor("dep+burst").name == "DEP+BURST"
+    assert make_predictor(" m+crit ").name == "M+CRIT"
+
+
+def test_dep_ctp_flag():
+    assert make_predictor("DEP").across_epoch_ctp is True
+    assert make_predictor("DEP", across_epoch_ctp=False).across_epoch_ctp is False
+
+
+def test_unknown_rejected():
+    with pytest.raises(PredictionError):
+        make_predictor("LSTM")

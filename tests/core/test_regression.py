@@ -1,0 +1,108 @@
+"""Regression-baseline predictor."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PredictionError
+from repro.core.regression import (
+    FEATURE_NAMES,
+    RegressionPredictor,
+    TrainingSample,
+    features_of,
+    make_training_samples,
+)
+from repro.sim.run import simulate
+from tests.util import compute, make_program, memory, store_burst
+
+
+def compute_program(insns=2_000_000):
+    return make_program([[compute(insns, cpi=0.5)]], name="cpu")
+
+
+def memory_program():
+    actions = [memory(100_000, cpi=0.5, chains=[350.0] * 60) for _ in range(4)]
+    return make_program([list(actions)], name="mem")
+
+
+def mixed_program():
+    actions = [compute(200_000), store_burst(8192, drain=1.5),
+               memory(100_000, chains=[200.0] * 20)] * 3
+    return make_program([list(actions)], name="mix")
+
+
+def build_samples(programs, base_freq=1.0, target_freq=4.0):
+    runs = []
+    for program in programs:
+        base = simulate(program, base_freq)
+        actual = simulate(program, target_freq)
+        runs.append((base.trace, target_freq, actual.total_ns))
+    return make_training_samples(runs)
+
+
+def test_features_shape_and_names():
+    trace = simulate(compute_program(), 1.0).trace
+    feats = features_of(trace)
+    assert feats.shape == (len(FEATURE_NAMES),)
+    assert feats[0] == 1.0  # bias
+    assert 0.0 <= feats[1] <= 2.0
+
+
+def test_implied_scaling_fraction_extremes():
+    trace = simulate(compute_program(), 1.0).trace
+    actual = simulate(compute_program(), 4.0)
+    sample = TrainingSample(
+        features=features_of(trace),
+        base_freq_ghz=1.0, target_freq_ghz=4.0,
+        base_total_ns=trace.total_ns, target_total_ns=actual.total_ns,
+    )
+    # A pure-compute program scales perfectly.
+    assert sample.implied_scaling_fraction() == pytest.approx(1.0, abs=0.02)
+
+
+def test_same_frequency_pair_rejected():
+    trace = simulate(compute_program(), 1.0).trace
+    sample = TrainingSample(
+        features=features_of(trace), base_freq_ghz=1.0, target_freq_ghz=1.0,
+        base_total_ns=1.0, target_total_ns=1.0,
+    )
+    with pytest.raises(PredictionError):
+        sample.implied_scaling_fraction()
+
+
+def test_fit_and_predict_generalizes_across_program_kinds():
+    train = build_samples(
+        [compute_program(), memory_program(), mixed_program(),
+         compute_program(3_000_000)]
+    )
+    predictor = RegressionPredictor().fit(train)
+    assert predictor.is_fitted
+    # Held-out memory-ish program.
+    held_out = make_program(
+        [[memory(120_000, cpi=0.5, chains=[300.0] * 40) for _ in range(4)]],
+        name="held-out",
+    )
+    base = simulate(held_out, 1.0)
+    actual = simulate(held_out, 4.0)
+    predicted = predictor.predict_total_ns(base.trace, 4.0)
+    assert abs(predicted / actual.total_ns - 1) < 0.25
+
+
+def test_unfitted_predictor_rejects():
+    predictor = RegressionPredictor()
+    with pytest.raises(PredictionError):
+        _ = predictor.weights
+    assert not predictor.is_fitted
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(PredictionError):
+        RegressionPredictor().fit([])
+
+
+def test_scaling_fraction_clamped():
+    predictor = RegressionPredictor()
+    predictor._weights = np.array([5.0, 0, 0, 0, 0, 0])  # absurd bias
+    trace = simulate(compute_program(), 1.0).trace
+    assert predictor.scaling_fraction(trace) == 1.0
+    predictor._weights = np.array([-5.0, 0, 0, 0, 0, 0])
+    assert predictor.scaling_fraction(trace) == 0.0

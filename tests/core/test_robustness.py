@@ -1,0 +1,75 @@
+"""Predictor robustness on degenerate-but-legal traces."""
+
+import pytest
+
+from repro import make_predictor, predictor_names, simulate
+from tests.util import MB, compute, make_program
+from repro.workloads.items import Allocate, Sleep
+
+
+@pytest.mark.parametrize("name", predictor_names())
+def test_single_segment_single_thread(name):
+    # The smallest possible run: one thread, one compute segment -> one
+    # epoch between SPAWN and EXIT.
+    program = make_program([[compute(100_000, cpi=0.5)]])
+    base = simulate(program, 1.0)
+    predictor = make_predictor(name)
+    predicted = predictor.predict_total_ns(base.trace, 4.0)
+    assert predicted == pytest.approx(base.total_ns / 4, rel=0.01)
+
+
+@pytest.mark.parametrize("name", ["DEP", "DEP+BURST"])
+def test_run_dominated_by_sleep(name):
+    # 95% of the run is a timer sleep: frequency-invariant time the
+    # predictor must not scale.
+    program = make_program(
+        [[compute(50_000, cpi=0.5), Sleep(duration_ns=2.0e6),
+          compute(50_000, cpi=0.5)]]
+    )
+    base = simulate(program, 1.0)
+    actual = simulate(program, 4.0)
+    predicted = make_predictor(name).predict_total_ns(base.trace, 4.0)
+    assert predicted == pytest.approx(actual.total_ns, rel=0.02)
+
+
+def test_run_ending_immediately_after_gc():
+    # The last application action triggers a collection: the trace ends
+    # right at the post-GC resume. COOP's final app phase is near-empty.
+    program = make_program(
+        [[compute(), Allocate(3 * MB), Allocate(3 * MB)]], nursery_mb=4
+    )
+    base = simulate(program, 1.0)
+    actual = simulate(program, 4.0)
+    # This run is dominated by zero-initialization stores, so only the
+    # +BURST models can be accurate; plain COOP/DEP scale the store time
+    # away (the paper's Figure 3 story in miniature).
+    for name in ("COOP+BURST", "DEP+BURST"):
+        predicted = make_predictor(name).predict_total_ns(base.trace, 4.0)
+        assert predicted == pytest.approx(actual.total_ns, rel=0.15), name
+    plain = make_predictor("COOP").predict_total_ns(base.trace, 4.0)
+    assert plain < actual.total_ns * 0.6  # badly underestimates
+
+
+def test_extreme_frequency_ratio_round_trip():
+    program = make_program([[compute(400_000, cpi=0.5)] for _ in range(2)])
+    base = simulate(program, 1.0)
+    predictor = make_predictor("DEP+BURST")
+    # Predict up, then use the 4 GHz ground truth to predict back down:
+    # the round trip must recover the measured 1 GHz time.
+    up = predictor.predict_total_ns(base.trace, 4.0)
+    actual4 = simulate(program, 4.0)
+    down = predictor.predict_total_ns(actual4.trace, 1.0)
+    assert down == pytest.approx(base.total_ns, rel=0.02)
+    assert up == pytest.approx(actual4.total_ns, rel=0.02)
+
+
+@pytest.mark.parametrize("name", predictor_names())
+def test_prediction_positive_and_finite_everywhere(name):
+    program = make_program(
+        [[compute(), Allocate(1 * MB), compute()], [compute()]], nursery_mb=4
+    )
+    base = simulate(program, 2.0)
+    predictor = make_predictor(name)
+    for target in (1.0, 1.125, 2.0, 3.875, 4.0):
+        predicted = predictor.predict_total_ns(base.trace, target)
+        assert 0 < predicted < float("inf")

@@ -1,0 +1,99 @@
+"""Sequential predictors: stall time, leading loads, CRIT (+BURST).
+
+The ordering property from Section II.A: stall time underestimates the
+non-scaling component, leading loads approximates it, CRIT nails the
+dependent-chain critical path.
+"""
+
+import pytest
+
+from repro.arch.counters import CounterSet
+from repro.core.burst import with_burst
+from repro.core.crit import crit_nonscaling
+from repro.core.leadingloads import leading_loads_nonscaling
+from repro.core.predictors import SequentialPredictor
+from repro.core.stalltime import stall_time_nonscaling
+from repro.sim.run import simulate
+from tests.util import make_program, memory, store_burst, compute
+
+
+def test_estimators_read_their_counters():
+    counters = CounterSet(crit_ns=90.0, leading_ns=60.0, stall_ns=30.0,
+                          sqfull_ns=11.0)
+    assert crit_nonscaling(counters) == 90.0
+    assert leading_loads_nonscaling(counters) == 60.0
+    assert stall_time_nonscaling(counters) == 30.0
+
+
+def test_burst_wrapper_adds_sqfull():
+    counters = CounterSet(crit_ns=90.0, sqfull_ns=11.0)
+    assert with_burst(crit_nonscaling)(counters) == pytest.approx(101.0)
+    assert "burst" in with_burst(crit_nonscaling).__name__
+
+
+def test_counter_ordering_on_simulated_thread():
+    # Depth-1 chains: leading == crit, and the stall counter loses the
+    # commit-under-miss slice, so stall < leading == crit.
+    shallow = [memory(200_000, chains=[120.0] * 20) for _ in range(3)]
+    trace = simulate(make_program([shallow]), 1.0).trace
+    counters = trace.final_counters()[0]
+    assert counters.stall_ns < counters.leading_ns
+    assert counters.leading_ns == pytest.approx(counters.crit_ns)
+    # Depth-2 chains: leading loads only credits one miss per cluster.
+    deep = [memory(200_000, chains=[240.0] * 20, depths=[2] * 20)]
+    trace = simulate(make_program([deep]), 1.0).trace
+    counters = trace.final_counters()[0]
+    assert counters.leading_ns == pytest.approx(counters.crit_ns / 2)
+
+
+@pytest.mark.parametrize("model", ["stall", "leading-loads", "crit"])
+def test_sequential_predictor_runs(model):
+    program = make_program([[memory(100_000, chains=[200.0] * 10)]])
+    base = simulate(program, 1.0)
+    actual = simulate(program, 2.0)
+    predictor = SequentialPredictor(model)
+    predicted = predictor.predict_total_ns(base.trace, 2.0)
+    error = abs(predicted / actual.total_ns - 1)
+    assert error < 0.25
+
+
+def test_crit_most_accurate_on_memory_bound_thread():
+    chains = [300.0 + 40 * (i % 5) for i in range(30)]
+    program = make_program(
+        [[memory(150_000, chains=chains, depths=[3] * 30) for _ in range(4)]]
+    )
+    base = simulate(program, 1.0)
+    actual = simulate(program, 4.0).total_ns
+    errors = {}
+    for model in ("stall", "leading-loads", "crit"):
+        predicted = SequentialPredictor(model).predict_total_ns(base.trace, 4.0)
+        errors[model] = abs(predicted / actual - 1)
+    # CRIT is the most accurate; leading loads misses the chain tails of
+    # these depth-3 clusters and is clearly worse.
+    assert errors["crit"] <= errors["leading-loads"]
+    assert errors["crit"] <= errors["stall"]
+    assert errors["leading-loads"] > 0.1
+
+
+def test_burst_fixes_store_heavy_thread():
+    actions = [compute(50_000), store_burst(8192, drain=1.5)] * 4
+    program = make_program([actions])
+    base = simulate(program, 1.0)
+    actual = simulate(program, 4.0).total_ns
+    plain = SequentialPredictor("crit").predict_total_ns(base.trace, 4.0)
+    burst = SequentialPredictor("crit", burst=True).predict_total_ns(
+        base.trace, 4.0
+    )
+    assert abs(burst / actual - 1) < abs(plain / actual - 1)
+
+
+def test_sequential_predictor_requires_single_thread():
+    program = make_program([[compute()], [compute()]])
+    trace = simulate(program, 1.0).trace
+    with pytest.raises(Exception):
+        SequentialPredictor("crit").predict_total_ns(trace, 2.0)
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(Exception):
+        SequentialPredictor("magic")

@@ -1,0 +1,56 @@
+"""Counter timeline reconstruction."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.core.timeline import CounterTimeline
+from repro.sim.run import simulate
+from tests.util import lock_pair_program, make_program, compute
+
+
+def test_lifetime_and_final_counters():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    timeline = CounterTimeline(trace)
+    for tid in trace.app_tids():
+        assert timeline.spawn_time(tid) == 0.0
+        assert 0 < timeline.exit_time(tid) <= trace.total_ns
+        final = timeline.final_counters(tid)
+        assert final.insns > 0
+
+
+def test_counters_monotone_in_time():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    timeline = CounterTimeline(trace)
+    tid = trace.app_tids()[0]
+    times = [trace.total_ns * k / 10 for k in range(11)]
+    insns = [timeline.counters_at(tid, t).insns for t in times]
+    assert insns == sorted(insns)
+
+
+def test_counters_before_first_snapshot_are_zero():
+    trace = simulate(make_program([[compute()]]), 1.0).trace
+    timeline = CounterTimeline(trace)
+    assert timeline.counters_at(0, -1.0).is_zero()
+
+
+def test_delta_window():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    timeline = CounterTimeline(trace)
+    tid = trace.app_tids()[0]
+    full = timeline.delta(tid, 0.0, trace.total_ns)
+    assert full.insns == timeline.final_counters(tid).insns
+    with pytest.raises(TraceError):
+        timeline.delta(tid, 10.0, 5.0)
+
+
+def test_unknown_tid_rejected():
+    trace = simulate(make_program([[compute()]]), 1.0).trace
+    timeline = CounterTimeline(trace)
+    with pytest.raises(TraceError):
+        timeline.counters_at(99, 0.0)
+
+
+def test_tids_listed():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    timeline = CounterTimeline(trace)
+    assert set(trace.app_tids()).issubset(set(timeline.tids()))

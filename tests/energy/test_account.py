@@ -1,0 +1,49 @@
+"""Energy accounting over traces."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.arch.specs import haswell_i7_4770k
+from repro.energy.account import compute_energy
+from repro.sim.run import simulate
+from repro.sim.trace import SimulationTrace
+from tests.util import allocating_program, make_program, compute
+
+
+def test_energy_positive_and_covers_run():
+    program = make_program([[compute(5_000_000, cpi=0.5)]])
+    result = simulate(program, 2.0, quantum_ns=1e5)
+    report = compute_energy(result.trace, haswell_i7_4770k())
+    assert report.total_j > 0
+    assert len(report.per_interval_j) == len(result.trace.intervals)
+    assert report.total_j == pytest.approx(sum(report.per_interval_j))
+    assert report.avg_power_w > 0
+
+
+def test_compute_bound_energy_is_roughly_frequency_neutral():
+    # Section VI: for compute-intensive applications, the dynamic-power
+    # saving of a lower frequency is offset by the longer runtime — a
+    # "close to net energy-neutral operation".
+    program = make_program([[compute(20_000_000, cpi=0.5)] for _ in range(4)])
+    spec = haswell_i7_4770k()
+    r1 = simulate(program, 1.0)
+    r4 = simulate(program, 4.0)
+    e1 = compute_energy(r1.trace, spec)
+    e4 = compute_energy(r4.trace, spec)
+    assert e4.total_j == pytest.approx(e1.total_j, rel=0.25)
+    # The power levels differ wildly even though energy does not.
+    assert e4.avg_power_w > 3 * e1.avg_power_w
+
+
+def test_memory_bound_low_frequency_saves_energy():
+    program = allocating_program(allocations=20, alloc_bytes=1 << 20)
+    spec = haswell_i7_4770k()
+    e2 = compute_energy(simulate(program, 2.0).trace, spec).total_j
+    e4 = compute_energy(simulate(program, 4.0).trace, spec).total_j
+    assert e2 < e4
+
+
+def test_empty_trace_rejected():
+    trace = SimulationTrace(program_name="x")
+    with pytest.raises(TraceError):
+        compute_energy(trace, haswell_i7_4770k())

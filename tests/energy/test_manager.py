@@ -1,0 +1,167 @@
+"""Energy manager behaviour."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.arch.specs import haswell_i7_4770k
+from repro.energy.manager import EnergyManager, ManagerConfig
+from repro.sim.run import simulate, simulate_managed
+from tests.util import allocating_program, make_program, compute, memory
+
+
+def managed(program, threshold, quantum_ns=2.5e5):
+    spec = haswell_i7_4770k()
+    manager = EnergyManager(spec, ManagerConfig(tolerable_slowdown=threshold))
+    result = simulate_managed(
+        program, manager, spec=spec, quantum_ns=quantum_ns
+    )
+    return result, manager
+
+
+def memory_bound_program():
+    actions = []
+    for _ in range(60):
+        actions.append(memory(30_000, cpi=0.5, chains=[300.0] * 40))
+    return make_program([list(actions) for _ in range(2)])
+
+
+def compute_bound_program():
+    return make_program(
+        [[compute(100_000, cpi=0.5) for _ in range(60)] for _ in range(2)]
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ManagerConfig(tolerable_slowdown=-0.1)
+    with pytest.raises(ConfigError):
+        ManagerConfig(hold_off=0)
+
+
+def test_memory_bound_program_is_downclocked():
+    result, manager = managed(memory_bound_program(), threshold=0.10)
+    assert manager.decisions, "manager must have made decisions"
+    assert min(d.chosen_freq_ghz for d in manager.decisions) < 3.0
+
+
+def test_compute_bound_program_stays_fast():
+    result, manager = managed(compute_bound_program(), threshold=0.05)
+    assert manager.decisions
+    assert min(d.chosen_freq_ghz for d in manager.decisions) >= 3.5
+
+
+def test_slowdown_respects_threshold():
+    program = memory_bound_program()
+    baseline = simulate(program, 4.0)
+    for threshold in (0.05, 0.10):
+        result, _ = managed(program, threshold)
+        slowdown = result.total_ns / baseline.total_ns - 1.0
+        assert slowdown <= threshold + 0.04, (
+            f"threshold {threshold}: slowdown {slowdown}"
+        )
+
+
+def test_wider_threshold_clocks_lower():
+    program = memory_bound_program()
+    _, tight = managed(program, 0.02)
+    _, loose = managed(program, 0.20)
+    mean = lambda ds: sum(d.chosen_freq_ghz for d in ds) / len(ds)
+    assert mean(loose.decisions) < mean(tight.decisions)
+
+
+def test_predicted_slowdowns_within_bound():
+    _, manager = managed(memory_bound_program(), 0.10)
+    for decision in manager.decisions:
+        assert decision.predicted_slowdown <= 0.10 + 1e-9
+
+
+def test_hold_off_limits_decision_rate():
+    program = memory_bound_program()
+    spec = haswell_i7_4770k()
+    manager = EnergyManager(
+        spec, ManagerConfig(tolerable_slowdown=0.10, hold_off=4)
+    )
+    simulate_managed(program, manager, spec=spec, quantum_ns=2.5e5)
+    manager_fast = EnergyManager(spec, ManagerConfig(tolerable_slowdown=0.10))
+    simulate_managed(program, manager_fast, spec=spec, quantum_ns=2.5e5)
+    assert len(manager.decisions) <= len(manager_fast.decisions)
+
+
+def test_gc_phases_trigger_downclock():
+    program = allocating_program(n_threads=2, allocations=14,
+                                 alloc_bytes=1 << 20, nursery_mb=4)
+    result, manager = managed(program, 0.10, quantum_ns=1e5)
+    freqs = [d.chosen_freq_ghz for d in manager.decisions]
+    assert min(freqs) < 4.0
+
+
+def test_slack_banking_spends_more_budget():
+    program = memory_bound_program()
+    spec = haswell_i7_4770k()
+    baseline = simulate(program, 4.0)
+
+    def run(banking):
+        manager = EnergyManager(
+            spec,
+            ManagerConfig(tolerable_slowdown=0.10, slack_banking=banking),
+        )
+        result = simulate_managed(program, manager, spec=spec,
+                                  quantum_ns=2.5e5)
+        return result.total_ns / baseline.total_ns - 1.0
+
+    plain = run(False)
+    banked = run(True)
+    # Banking uses budget the plain manager leaves unspent, but never
+    # grossly overshoots (instantaneous bound capped at 2x threshold).
+    assert banked >= plain - 0.01
+    assert banked <= 0.10 * 1.6 + 0.01
+
+
+def test_slack_banking_bound_clamped():
+    from repro.sim.intervals import IntervalRecord
+
+    spec = haswell_i7_4770k()
+    manager = EnergyManager(
+        spec, ManagerConfig(tolerable_slowdown=0.10, slack_banking=True)
+    )
+    record = IntervalRecord(index=0, start_ns=0.0, end_ns=5e6, freq_ghz=4.0)
+    # Far under budget so far: bound grows but stays <= 2x threshold.
+    bound = manager._interval_bound(record, predicted_at_max=5e6)
+    assert 0.0 <= bound <= 0.20
+    # Massive overdraft: bound collapses to zero.
+    manager._elapsed_ns += 1e9
+    bound = manager._interval_bound(record, predicted_at_max=1.0)
+    assert bound == 0.0
+
+
+def test_min_edp_objective_prefers_higher_frequency():
+    program = memory_bound_program()
+    spec = haswell_i7_4770k()
+
+    def mean_freq(objective):
+        manager = EnergyManager(
+            spec,
+            ManagerConfig(tolerable_slowdown=0.15, objective=objective),
+        )
+        simulate_managed(program, manager, spec=spec, quantum_ns=2.5e5)
+        freqs = [d.chosen_freq_ghz for d in manager.decisions]
+        return sum(freqs) / len(freqs)
+
+    # EDP penalizes delay, so it settles above the min-energy choice.
+    assert mean_freq("min-edp") >= mean_freq("min-energy")
+
+
+def test_min_edp_still_respects_bound():
+    program = memory_bound_program()
+    spec = haswell_i7_4770k()
+    baseline = simulate(program, 4.0)
+    manager = EnergyManager(
+        spec, ManagerConfig(tolerable_slowdown=0.10, objective="min-edp")
+    )
+    result = simulate_managed(program, manager, spec=spec, quantum_ns=2.5e5)
+    assert result.total_ns / baseline.total_ns - 1.0 <= 0.14
+
+
+def test_unknown_objective_rejected():
+    with pytest.raises(ConfigError):
+        ManagerConfig(objective="min-temperature")

@@ -1,0 +1,71 @@
+"""Power model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.arch.counters import CounterSet
+from repro.arch.specs import haswell_i7_4770k
+from repro.energy.power import PowerModel, PowerModelConfig
+
+
+@pytest.fixture
+def model():
+    return PowerModel(haswell_i7_4770k())
+
+
+def test_power_increases_with_frequency(model):
+    powers = [model.max_power_w(f) for f in (1.0, 2.0, 3.0, 4.0)]
+    assert powers == sorted(powers)
+    # V^2 f scaling: 4 GHz should cost far more than 4x the 1 GHz power.
+    assert powers[-1] > 3 * powers[0]
+
+
+def test_haswell_like_magnitudes(model):
+    assert 40.0 < model.max_power_w(4.0) < 100.0
+    assert 5.0 < model.max_power_w(1.0) < 25.0
+
+
+def test_activity_floor_and_ceiling(model):
+    dur = 1e6
+    idle = model.interval_activity(CounterSet(), dur, 4.0)
+    assert idle == 0.0
+    spec = haswell_i7_4770k()
+    full = CounterSet(
+        active_ns=spec.n_cores * dur,
+        insns=int(dur * 4.0 * spec.core.width * spec.n_cores),
+    )
+    assert model.interval_activity(full, dur, 4.0) == pytest.approx(1.0)
+
+
+def test_memory_stall_draws_less_than_commit(model):
+    dur = 1e6
+    stalled = CounterSet(active_ns=4 * dur, insns=1000)  # busy but no commit
+    committing = CounterSet(active_ns=4 * dur, insns=int(4 * dur * 4 * 4))
+    a_stalled = model.interval_activity(stalled, dur, 4.0)
+    a_commit = model.interval_activity(committing, dur, 4.0)
+    assert a_stalled < a_commit
+
+
+def test_interval_energy_composition(model):
+    dur = 1e6  # 1 ms
+    counters = CounterSet(active_ns=4 * dur, insns=10_000_000, crit_ns=1e5,
+                          stores=80_000)
+    energy = model.interval_energy_j(counters, dur, 2.0)
+    floor = (model.static_power_w(2.0) + model.config.uncore_w
+             + model.config.dram_background_w) * dur * 1e-9
+    assert energy > floor
+    with pytest.raises(ConfigError):
+        model.interval_energy_j(counters, -1.0, 2.0)
+
+
+def test_dram_access_estimate(model):
+    counters = CounterSet(crit_ns=600.0, stores=16)
+    accesses = model.dram_accesses(counters)
+    assert accesses == pytest.approx(600.0 / 60.0 + 2.0)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        PowerModelConfig(uncore_w=0.0)
+    with pytest.raises(ConfigError):
+        PowerModelConfig(idle_activity=1.5)

@@ -1,0 +1,48 @@
+"""Static-optimal oracle."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.energy.static_oracle import static_optimal
+
+
+def sweep():
+    # freq -> (total_ns, energy_j): slower is cheaper here.
+    return {
+        4.0: (100.0, 40.0),
+        3.0: (106.0, 30.0),
+        2.0: (125.0, 22.0),
+        1.0: (180.0, 18.0),
+    }
+
+
+def test_picks_cheapest_within_bound():
+    result = static_optimal(sweep(), tolerable_slowdown=0.10, max_freq_ghz=4.0)
+    assert result.freq_ghz == 3.0
+    assert result.energy_saving == pytest.approx(0.25)
+    assert result.slowdown == pytest.approx(0.06)
+
+
+def test_wider_bound_picks_lower_frequency():
+    result = static_optimal(sweep(), tolerable_slowdown=0.30, max_freq_ghz=4.0)
+    assert result.freq_ghz == 2.0
+
+
+def test_zero_bound_stays_at_max():
+    result = static_optimal(sweep(), tolerable_slowdown=0.0, max_freq_ghz=4.0)
+    assert result.freq_ghz == 4.0
+    assert result.energy_saving == 0.0
+
+
+def test_non_monotone_energy_handled():
+    runs = dict(sweep())
+    runs[3.0] = (106.0, 45.0)  # pathological: slower AND pricier
+    result = static_optimal(runs, tolerable_slowdown=0.06, max_freq_ghz=4.0)
+    assert result.freq_ghz == 4.0
+
+
+def test_missing_baseline_rejected():
+    with pytest.raises(ConfigError):
+        static_optimal({1.0: (1.0, 1.0)}, 0.1, max_freq_ghz=4.0)
+    with pytest.raises(ConfigError):
+        static_optimal(sweep(), -0.1, max_freq_ghz=4.0)

@@ -1,0 +1,37 @@
+"""Voltage/frequency table."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.arch.specs import haswell_i7_4770k
+from repro.energy.vftable import VfTable
+
+
+def test_endpoints():
+    table = VfTable(haswell_i7_4770k())
+    assert table.voltage(1.0) == pytest.approx(0.725)
+    assert table.voltage(4.0) == pytest.approx(1.10)
+
+
+def test_monotone_in_frequency():
+    table = VfTable(haswell_i7_4770k())
+    rows = table.rows()
+    assert len(rows) == 25
+    voltages = [v for _, v in rows]
+    assert voltages == sorted(voltages)
+
+
+def test_off_grid_rejected():
+    table = VfTable(haswell_i7_4770k())
+    with pytest.raises(ConfigError):
+        table.voltage(2.2)
+
+
+def test_float_noise_tolerated():
+    table = VfTable(haswell_i7_4770k())
+    assert table.voltage(2.1250000001) == table.voltage(2.125)
+
+
+def test_invalid_range_rejected():
+    with pytest.raises(ConfigError):
+        VfTable(haswell_i7_4770k(), v_at_min=1.2, v_at_max=1.0)

@@ -1,0 +1,28 @@
+"""Experiment result rendering."""
+
+from repro.experiments.report import ExperimentResult, mean, mean_abs, pct, pct_abs
+
+
+def test_percent_formatting():
+    assert pct(0.1234) == "+12.3%"
+    assert pct(-0.05) == "-5.0%"
+    assert pct_abs(0.27) == "27.0%"
+
+
+def test_means():
+    assert mean([1.0, 3.0]) == 2.0
+    assert mean_abs([-1.0, 3.0]) == 2.0
+
+
+def test_result_rendering():
+    result = ExperimentResult(
+        experiment_id="Fig X",
+        title="demo",
+        headers=["a", "b"],
+        rows=[("r1", "v1")],
+        notes="a note",
+    )
+    text = result.to_text()
+    assert text.startswith("[Fig X] demo")
+    assert "a note" in text
+    assert "r1" in text

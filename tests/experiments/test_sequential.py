@@ -1,0 +1,37 @@
+"""Sequential-model validation experiment (small units count)."""
+
+import pytest
+
+from repro.experiments import sequential
+
+
+@pytest.fixture(scope="module")
+def errors():
+    return sequential.collect(units=10)
+
+
+def test_grid_complete(errors):
+    assert set(errors) == {
+        "compute", "pointer_chase", "streaming", "bank_conflicts",
+        "store_heavy", "mixed",
+    }
+    for per_model in errors.values():
+        assert set(per_model) == {
+            "stall", "leading-loads", "crit", "crit+burst",
+        }
+
+
+def test_compute_exact_for_all_models(errors):
+    for model, error in errors["compute"].items():
+        assert abs(error) < 0.01, model
+
+
+def test_store_heavy_fixed_only_by_burst(errors):
+    assert abs(errors["store_heavy"]["crit"]) > 0.15
+    assert abs(errors["store_heavy"]["crit+burst"]) < 0.05
+
+
+def test_render(errors):
+    text = sequential.run(units=10).to_text()
+    assert "pointer_chase" in text
+    assert "crit+burst" in text

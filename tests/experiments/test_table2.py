@@ -1,0 +1,12 @@
+"""Table II regeneration (static, cheap)."""
+
+from repro.experiments import table2
+
+
+def test_table2_contents():
+    result = table2.run()
+    text = result.to_text()
+    assert "4 cores" in text
+    assert "125 MHz" in text
+    assert "V/f points" in text
+    assert "0.725" in text and "1.100" in text

@@ -1,0 +1,64 @@
+"""Simulation determinism: identical runs, frequency-invariant logic."""
+
+import pytest
+
+from repro import get_benchmark, simulate
+from repro.sim.trace import EventKind
+from tests.util import allocating_program, lock_pair_program
+
+
+def test_identical_runs_produce_identical_traces():
+    program = allocating_program()
+    a = simulate(program, 2.0)
+    b = simulate(program, 2.0)
+    assert a.total_ns == b.total_ns
+    assert len(a.trace.events) == len(b.trace.events)
+    for ea, eb in zip(a.trace.events, b.trace.events):
+        assert ea.time_ns == eb.time_ns
+        assert ea.kind == eb.kind
+        assert ea.tid == eb.tid
+
+
+def test_logical_work_frequency_invariant():
+    program = allocating_program()
+    runs = {f: simulate(program, f) for f in (1.0, 2.0, 4.0)}
+    # Same collections, same retired instructions at every frequency.
+    gcs = {f: r.trace.gc_cycles for f, r in runs.items()}
+    assert len(set(gcs.values())) == 1
+    insns = {
+        f: sum(c.insns for c in r.trace.final_counters().values())
+        for f, r in runs.items()
+    }
+    values = list(insns.values())
+    assert max(values) - min(values) <= max(values) * 0.001
+
+
+def test_benchmark_bundle_runs_deterministic():
+    bundle_a = get_benchmark("pmd_scale", scale=0.02)
+    bundle_b = get_benchmark("pmd_scale", scale=0.02)
+    ta = simulate(bundle_a.program, 2.0, jvm_config=bundle_a.jvm_config,
+                  gc_model=bundle_a.gc_model).total_ns
+    tb = simulate(bundle_b.program, 2.0, jvm_config=bundle_b.jvm_config,
+                  gc_model=bundle_b.gc_model).total_ns
+    assert ta == tb
+
+
+def test_shared_gc_model_does_not_change_results():
+    bundle = get_benchmark("pmd_scale", scale=0.02)
+    with_shared = simulate(
+        bundle.program, 1.0, jvm_config=bundle.jvm_config,
+        gc_model=bundle.gc_model,
+    ).total_ns
+    without_shared = simulate(
+        bundle.program, 1.0, jvm_config=bundle.jvm_config,
+    ).total_ns
+    assert with_shared == pytest.approx(without_shared, rel=1e-12)
+
+
+def test_futex_events_balanced():
+    trace = simulate(lock_pair_program(), 1.0).trace
+    waits = sum(1 for e in trace.events if e.kind is EventKind.FUTEX_WAIT)
+    wakes = sum(1 for e in trace.events if e.kind is EventKind.FUTEX_WAKE)
+    # GC workers park at exit without being woken (teardown), so waits can
+    # exceed wakes by at most the worker count.
+    assert waits - wakes <= 4

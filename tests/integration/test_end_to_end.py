@@ -1,0 +1,100 @@
+"""End-to-end pipeline on a miniature DaCapo model.
+
+These tests exercise the public API exactly the way the experiment suite
+does: build a benchmark, simulate ground truths, predict with every model,
+run the energy manager — and check the paper's qualitative structure.
+"""
+
+import pytest
+
+from repro import (
+    get_benchmark,
+    make_predictor,
+    predictor_names,
+    simulate,
+    simulate_managed,
+)
+from repro.energy import EnergyManager, ManagerConfig, compute_energy
+
+SCALE = 0.06
+
+
+@pytest.fixture(scope="module")
+def xalan_runs():
+    bundle = get_benchmark("xalan", scale=SCALE)
+    runs = {
+        f: simulate(bundle.program, f, jvm_config=bundle.jvm_config,
+                    gc_model=bundle.gc_model)
+        for f in (1.0, 4.0)
+    }
+    return bundle, runs
+
+
+def test_ground_truth_sanity(xalan_runs):
+    _, runs = xalan_runs
+    assert runs[1.0].total_ns > runs[4.0].total_ns
+    speedup = runs[1.0].total_ns / runs[4.0].total_ns
+    assert 1.5 < speedup < 4.0
+    assert runs[1.0].trace.gc_cycles >= 1
+    assert runs[1.0].is_memory_intensive
+
+
+def test_all_predictors_produce_finite_predictions(xalan_runs):
+    _, runs = xalan_runs
+    for name in predictor_names():
+        predictor = make_predictor(name)
+        predicted = predictor.predict_total_ns(runs[1.0].trace, 4.0)
+        assert 0 < predicted < runs[1.0].total_ns
+
+
+def test_paper_error_ordering_up(xalan_runs):
+    _, runs = xalan_runs
+    actual = runs[4.0].total_ns
+
+    def error(name):
+        predicted = make_predictor(name).predict_total_ns(runs[1.0].trace, 4.0)
+        return abs(predicted / actual - 1)
+
+    assert error("DEP+BURST") < error("M+CRIT")
+    assert error("DEP+BURST") < error("DEP")
+    assert error("M+CRIT+BURST") < error("M+CRIT")
+    assert error("DEP+BURST") < 0.12
+
+
+def test_paper_error_ordering_down(xalan_runs):
+    _, runs = xalan_runs
+    actual = runs[1.0].total_ns
+
+    def error(name):
+        predicted = make_predictor(name).predict_total_ns(runs[4.0].trace, 1.0)
+        return abs(predicted / actual - 1)
+
+    assert error("DEP+BURST") < error("DEP") < error("M+CRIT")
+    assert error("DEP+BURST") < 0.25
+
+
+def test_energy_manager_saves_energy_within_slowdown(xalan_runs):
+    bundle, runs = xalan_runs
+    baseline = runs[4.0]
+    base_energy = compute_energy(baseline.trace, bundle.spec)
+    manager = EnergyManager(
+        bundle.spec, ManagerConfig(tolerable_slowdown=0.10)
+    )
+    managed = simulate_managed(
+        bundle.program, manager, spec=bundle.spec,
+        jvm_config=bundle.jvm_config, gc_model=bundle.gc_model,
+        quantum_ns=5.0e5,
+    )
+    energy = compute_energy(managed.trace, bundle.spec)
+    slowdown = managed.total_ns / baseline.total_ns - 1.0
+    saving = 1.0 - energy.total_j / base_energy.total_j
+    assert slowdown <= 0.14
+    assert saving > 0.05
+
+
+def test_compute_intensive_benchmark_contrast():
+    bundle = get_benchmark("sunflow", scale=0.02)
+    run = simulate(bundle.program, 1.0, jvm_config=bundle.jvm_config,
+                   gc_model=bundle.gc_model)
+    assert not bundle.is_memory_intensive
+    assert run.gc_fraction < 0.10

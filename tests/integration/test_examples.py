@@ -1,0 +1,39 @@
+"""Smoke-run every example script (miniature scales)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", ["0.02"]),
+    ("examples/epoch_walkthrough.py", []),
+    ("examples/energy_manager_demo.py", ["0.02"]),
+    ("examples/custom_workload.py", []),
+    ("examples/trace_analysis.py", ["0.02"]),
+    ("examples/per_core_dvfs.py", []),
+]
+
+
+@pytest.mark.parametrize("path,argv", EXAMPLES)
+def test_example_runs(path, argv, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path] + argv)
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path} produced no output"
+
+
+def test_quickstart_reports_all_models(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart", "0.02"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    for model in ("M+CRIT", "COOP", "DEP+BURST"):
+        assert model in out
+
+
+def test_epoch_walkthrough_shows_epochs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["walkthrough"])
+    runpy.run_path("examples/epoch_walkthrough.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Synchronization epochs" in out
+    assert "across-epoch" in out

@@ -1,0 +1,39 @@
+"""Predicting at the base frequency must return the measured time.
+
+This is the strongest cheap correctness check for every predictor: with
+target == base, the scaling arithmetic cancels and any bookkeeping error
+(lost epochs, double-counted phases, mis-clipped windows) shows up
+immediately.
+"""
+
+import pytest
+
+from repro import get_benchmark, make_predictor, predictor_names, simulate
+from tests.util import (
+    allocating_program,
+    barrier_program,
+    lock_pair_program,
+)
+
+
+@pytest.mark.parametrize("builder", [
+    lock_pair_program, barrier_program, allocating_program,
+])
+@pytest.mark.parametrize("name", ["DEP", "DEP+BURST", "COOP"])
+def test_identity_on_hand_built_programs(builder, name):
+    result = simulate(builder(), 2.0)
+    predictor = make_predictor(name)
+    predicted = predictor.predict_total_ns(result.trace, 2.0)
+    assert predicted == pytest.approx(result.total_ns, rel=0.02)
+
+
+@pytest.mark.parametrize("name", predictor_names())
+def test_identity_on_benchmark_model(name):
+    bundle = get_benchmark("lusearch_fix", scale=0.03)
+    result = simulate(bundle.program, 2.0, jvm_config=bundle.jvm_config,
+                      gc_model=bundle.gc_model)
+    predictor = make_predictor(name)
+    predicted = predictor.predict_total_ns(result.trace, 2.0)
+    # M+CRIT's lifetime accounting is exact at identity too: lifetime
+    # scaling splits cancel when target == base.
+    assert predicted == pytest.approx(result.total_ns, rel=0.02)

@@ -1,0 +1,52 @@
+"""Zero-initialization allocator."""
+
+import pytest
+
+from repro.arch.dram import DramConfig
+from repro.arch.segments import ComputeSegment, StoreBurstSegment
+from repro.jvm.allocator import ZeroInitAllocator
+
+
+def make_allocator(chunk=4096):
+    return ZeroInitAllocator(DramConfig(), chunk_bytes=chunk)
+
+
+def test_zero_drain_uses_line_coalescing():
+    dram = DramConfig()
+    allocator = ZeroInitAllocator(dram)
+    stores_per_line = dram.line_bytes // ZeroInitAllocator.STORE_BYTES
+    assert allocator.zero_drain_ns_per_store == pytest.approx(
+        dram.store_line_drain_ns / stores_per_line
+    )
+
+
+def test_segments_cover_all_bytes():
+    allocator = make_allocator(chunk=4096)
+    segments = allocator.segments_for(10_000)
+    bursts = [s for s in segments if isinstance(s, StoreBurstSegment)]
+    zeroed = sum(b.n_stores for b in bursts) * ZeroInitAllocator.STORE_BYTES
+    # 10_000 bytes in chunks of 4096: 4096 + 4096 + 1808 (floored to stores).
+    assert zeroed >= 10_000 - ZeroInitAllocator.STORE_BYTES * len(bursts)
+    assert len(bursts) == 3
+
+
+def test_alloc_path_and_init_compute_present():
+    allocator = make_allocator()
+    segments = allocator.segments_for(4096)
+    assert isinstance(segments[0], ComputeSegment)
+    kinds = [type(s) for s in segments]
+    assert StoreBurstSegment in kinds
+    assert kinds.count(ComputeSegment) >= 2  # alloc path + init
+
+
+def test_small_allocation_single_burst():
+    allocator = make_allocator()
+    segments = allocator.segments_for(64)
+    bursts = [s for s in segments if isinstance(s, StoreBurstSegment)]
+    assert len(bursts) == 1
+    assert bursts[0].n_stores == 8
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(Exception):
+        make_allocator().segments_for(0)

@@ -1,0 +1,111 @@
+"""GC cycle program generation."""
+
+import pytest
+
+from repro.arch.dram import DramConfig
+from repro.arch.segments import ComputeSegment, MemorySegment, StoreBurstSegment
+from repro.jvm.gc import GcConfig, GcModel
+from repro.workloads.items import BarrierWait, Run
+
+KB = 1024
+
+
+def make_model(**overrides):
+    config = GcConfig(**overrides)
+    return GcModel(config, DramConfig(), seed=5)
+
+
+def cycle_stats(worker_actions):
+    traced = 0
+    copied = 0
+    barriers = 0
+    for action in worker_actions:
+        if isinstance(action, BarrierWait):
+            barriers += 1
+        elif isinstance(action, Run) and isinstance(action.segment, StoreBurstSegment):
+            copied += action.segment.n_stores * 8
+    return traced, copied, barriers
+
+
+def test_cycle_has_one_program_per_worker():
+    model = make_model(n_gc_threads=4)
+    workers = model.build_cycle(0, traced_bytes=512 * KB, copied_bytes=128 * KB)
+    assert len(workers) == 4
+    for actions in workers:
+        assert actions, "every worker gets work"
+
+
+def test_all_workers_share_the_same_barrier_schedule():
+    model = make_model(n_gc_threads=3, trace_subphases=4)
+    workers = model.build_cycle(1, 256 * KB, 64 * KB)
+    schedules = [
+        [a.barrier_id for a in actions if isinstance(a, BarrierWait)]
+        for actions in workers
+    ]
+    assert schedules[0] == schedules[1] == schedules[2]
+    # root barrier + subphase barriers + final barrier
+    assert len(schedules[0]) == 1 + 4 + 1
+    for a in workers[0]:
+        if isinstance(a, BarrierWait):
+            assert a.parties == 3
+
+
+def test_copy_volume_matches_request_approximately():
+    model = make_model(n_gc_threads=4, trace_subphases=2)
+    copied_request = 512 * KB
+    workers = model.build_cycle(2, 2 * 1024 * KB, copied_request)
+    total_copied = sum(
+        action.segment.n_stores * 8
+        for actions in workers
+        for action in actions
+        if isinstance(action, Run) and isinstance(action.segment, StoreBurstSegment)
+    )
+    assert total_copied == pytest.approx(copied_request, rel=0.15)
+
+
+def test_cycles_are_cached_and_deterministic():
+    model = make_model()
+    a = model.build_cycle(3, 128 * KB, 32 * KB)
+    b = model.build_cycle(3, 128 * KB, 32 * KB)
+    assert a is b  # cache hit
+    fresh = make_model().build_cycle(3, 128 * KB, 32 * KB)
+    # Structurally identical programs from an identical seed.
+    assert [len(w) for w in fresh] == [len(w) for w in a]
+
+
+def test_different_cycles_have_distinct_barrier_ids():
+    model = make_model()
+    c0 = model.build_cycle(0, 128 * KB, 0)
+    c1 = model.build_cycle(1, 128 * KB, 0)
+    ids0 = {a.barrier_id for a in c0[0] if isinstance(a, BarrierWait)}
+    ids1 = {a.barrier_id for a in c1[0] if isinstance(a, BarrierWait)}
+    assert ids0.isdisjoint(ids1)
+
+
+def test_trace_segments_are_memory_bound():
+    model = make_model()
+    workers = model.build_cycle(4, 1024 * KB, 0)
+    memory_segments = [
+        action.segment
+        for action in workers[0]
+        if isinstance(action, Run) and isinstance(action.segment, MemorySegment)
+    ]
+    assert memory_segments
+    assert any(seg.n_clusters > 0 for seg in memory_segments)
+
+
+def test_zero_copy_cycle_has_no_bursts():
+    model = make_model()
+    workers = model.build_cycle(5, 128 * KB, 0)
+    for actions in workers:
+        for action in actions:
+            if isinstance(action, Run):
+                assert not isinstance(action.segment, StoreBurstSegment)
+
+
+def test_worker_shares_sum_to_one():
+    model = make_model(imbalance=0.4)
+    import numpy as np
+    shares = model._worker_shares(np.random.default_rng(0))
+    assert sum(shares) == pytest.approx(1.0)
+    assert all(share > 0 for share in shares)

@@ -1,0 +1,98 @@
+"""Generational heap accounting."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.jvm.heap import HeapState
+
+MB = 1 << 20
+
+
+def make_heap(heap_mb=64, nursery_mb=8, threshold=0.8):
+    return HeapState(
+        heap_bytes=heap_mb * MB, nursery_bytes=nursery_mb * MB,
+        full_gc_threshold=threshold,
+    )
+
+
+def test_construction_validation():
+    with pytest.raises(ConfigError):
+        HeapState(heap_bytes=MB, nursery_bytes=MB)
+    with pytest.raises(ConfigError):
+        HeapState(heap_bytes=MB, nursery_bytes=2 * MB)
+    with pytest.raises(ConfigError):
+        HeapState(heap_bytes=4 * MB, nursery_bytes=MB, full_gc_threshold=0.0)
+
+
+def test_allocate_and_fits():
+    heap = make_heap()
+    assert heap.fits(8 * MB)
+    heap.allocate(5 * MB)
+    assert heap.nursery_used == 5 * MB
+    assert heap.total_allocated == 5 * MB
+    assert not heap.fits(4 * MB)
+    with pytest.raises(SimulationError):
+        heap.allocate(4 * MB)
+
+
+def test_allocate_rejects_nonpositive():
+    heap = make_heap()
+    with pytest.raises(SimulationError):
+        heap.allocate(0)
+
+
+def test_minor_gc_promotes_survivors():
+    heap = make_heap()
+    heap.allocate(8 * MB)
+    survivors = heap.do_minor_gc(0.25)
+    assert survivors == 2 * MB
+    assert heap.nursery_used == 0
+    assert heap.mature_used == 2 * MB
+    assert heap.minor_gcs == 1
+
+
+def test_plan_commit_split_is_consistent():
+    heap = make_heap()
+    heap.allocate(4 * MB)
+    planned = heap.plan_minor(0.5)
+    assert heap.nursery_used == 4 * MB  # plan does not mutate
+    heap.commit_minor(planned)
+    assert heap.mature_used == planned
+
+
+def test_minor_gc_clamps_to_mature_capacity():
+    heap = make_heap(heap_mb=10, nursery_mb=8)
+    heap.mature_used = heap.mature_capacity - MB
+    heap.allocate(8 * MB)
+    survivors = heap.do_minor_gc(1.0)
+    assert survivors == MB
+    assert heap.mature_used == heap.mature_capacity
+
+
+def test_needs_full_gc_threshold():
+    heap = make_heap(heap_mb=64, nursery_mb=8, threshold=0.5)
+    assert not heap.needs_full_gc()
+    heap.mature_used = int(0.5 * heap.mature_capacity)
+    assert heap.needs_full_gc()
+
+
+def test_full_gc_reclaims_mature_garbage():
+    heap = make_heap()
+    heap.mature_used = 40 * MB
+    heap.allocate(8 * MB)
+    live = heap.do_full_gc(survival_rate=0.25, mature_live_fraction=0.5)
+    assert live == 20 * MB + 2 * MB
+    assert heap.mature_used == live
+    assert heap.nursery_used == 0
+    assert heap.full_gcs == 1
+    assert heap.gc_count == 1
+
+
+def test_commit_guards():
+    heap = make_heap()
+    with pytest.raises(SimulationError):
+        heap.commit_minor(heap.mature_capacity + 1)
+    with pytest.raises(SimulationError):
+        heap.commit_full(heap.mature_capacity + 1)
+    with pytest.raises(SimulationError):
+        heap.plan_minor(1.5)

@@ -1,0 +1,31 @@
+"""JIT service-thread model."""
+
+from repro.arch.dram import DramConfig
+from repro.jvm.jit import JitConfig, build_jit_program
+from repro.workloads.items import Run, Sleep
+
+
+def test_disabled_by_default():
+    assert build_jit_program(JitConfig(), DramConfig(), seed=1) is None
+
+
+def test_enabled_program_structure():
+    config = JitConfig(enabled=True, n_compilations=5)
+    program = build_jit_program(config, DramConfig(), seed=1)
+    assert program is not None
+    sleeps = [a for a in program.actions if isinstance(a, Sleep)]
+    runs = [a for a in program.actions if isinstance(a, Run)]
+    assert len(sleeps) == 5
+    assert len(runs) == 10  # memory + compute per compilation
+
+
+def test_deterministic_per_seed():
+    config = JitConfig(enabled=True, n_compilations=3)
+    a = build_jit_program(config, DramConfig(), seed=2)
+    b = build_jit_program(config, DramConfig(), seed=2)
+    c = build_jit_program(config, DramConfig(), seed=3)
+    a_sleeps = [x.duration_ns for x in a.actions if isinstance(x, Sleep)]
+    b_sleeps = [x.duration_ns for x in b.actions if isinstance(x, Sleep)]
+    c_sleeps = [x.duration_ns for x in c.actions if isinstance(x, Sleep)]
+    assert a_sleeps == b_sleeps
+    assert a_sleeps != c_sleeps

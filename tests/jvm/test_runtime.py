@@ -1,0 +1,99 @@
+"""JVM runtime: allocation protocol and GC planning."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.arch.dram import DramConfig
+from repro.jvm.runtime import JvmConfig, JvmRuntime
+from tests.util import allocating_program, make_program, compute
+
+MB = 1 << 20
+
+
+def make_runtime(nursery_mb=4, survival=0.25):
+    program = make_program(
+        [[compute()]], heap_mb=64, nursery_mb=nursery_mb,
+        survival_rate=survival,
+    )
+    return JvmRuntime(program, DramConfig(), JvmConfig())
+
+
+def test_allocation_returns_segments_until_full():
+    runtime = make_runtime(nursery_mb=4)
+    segments = runtime.try_allocate(1 * MB)
+    assert segments
+    assert runtime.heap.nursery_used == 1 * MB
+    # Fill it up.
+    assert runtime.try_allocate(3 * MB) is not None
+    # Now a GC is required; heap untouched by the failed attempt.
+    assert runtime.try_allocate(1 * MB) is None
+    assert runtime.heap.nursery_used == 4 * MB
+
+
+def test_oversized_allocation_rejected_loudly():
+    runtime = make_runtime(nursery_mb=4)
+    with pytest.raises(SimulationError):
+        runtime.try_allocate(5 * MB)
+
+
+def test_minor_gc_plan_and_finish():
+    runtime = make_runtime(nursery_mb=4, survival=0.25)
+    runtime.try_allocate(4 * MB)
+    plan = runtime.plan_gc()
+    assert plan.kind == "minor"
+    assert plan.traced_bytes > 0
+    assert len(plan.worker_actions) == runtime.n_gc_threads
+    assert runtime.gc_in_progress
+    runtime.finish_gc(plan)
+    assert not runtime.gc_in_progress
+    assert runtime.heap.nursery_used == 0
+    assert runtime.heap.mature_used == plan.commit_value
+
+
+def test_full_gc_when_mature_pressured():
+    runtime = make_runtime(nursery_mb=4)
+    runtime.heap.mature_used = int(
+        runtime.heap.mature_capacity * runtime.config.full_gc_threshold
+    )
+    runtime.try_allocate(4 * MB)
+    plan = runtime.plan_gc()
+    assert plan.kind == "full"
+    runtime.finish_gc(plan)
+    assert runtime.heap.full_gcs == 1
+    assert runtime.heap.mature_used == plan.commit_value
+    assert runtime.heap.mature_used < runtime.heap.mature_capacity
+
+
+def test_double_plan_rejected():
+    runtime = make_runtime()
+    runtime.try_allocate(3 * MB)
+    runtime.plan_gc()
+    with pytest.raises(SimulationError):
+        runtime.plan_gc()
+
+
+def test_finish_requires_matching_plan():
+    runtime = make_runtime()
+    runtime.try_allocate(3 * MB)
+    plan = runtime.plan_gc()
+    other = make_runtime()
+    with pytest.raises(SimulationError):
+        other.finish_gc(plan)
+    runtime.finish_gc(plan)
+
+
+def test_survival_jitter_is_deterministic_per_cycle():
+    def collect_plans():
+        runtime = JvmRuntime(
+            allocating_program(), DramConfig(), JvmConfig()
+        )
+        values = []
+        for _ in range(3):
+            runtime.try_allocate(3 * MB)
+            runtime.try_allocate(1 * MB)
+            plan = runtime.plan_gc()
+            values.append(plan.commit_value)
+            runtime.finish_gc(plan)
+        return values
+
+    assert collect_plans() == collect_plans()

@@ -1,0 +1,56 @@
+"""Futex table semantics."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.osmodel.futex import FutexTable
+
+
+def test_wait_then_wake_fifo():
+    futex = FutexTable()
+    futex.wait(1, 10)
+    futex.wait(1, 11)
+    futex.wait(1, 12)
+    assert futex.wake(1, 2) == [10, 11]
+    assert futex.wake(1) == [12]
+    assert futex.wake(1) == []
+
+
+def test_wake_all():
+    futex = FutexTable()
+    for tid in (1, 2, 3):
+        futex.wait(9, tid)
+    assert futex.wake_all(9) == [1, 2, 3]
+    assert futex.total_waiters() == 0
+
+
+def test_keys_are_independent():
+    futex = FutexTable()
+    futex.wait(1, 10)
+    futex.wait(2, 20)
+    assert futex.wake(1) == [10]
+    assert futex.waiters(2) == [20]
+
+
+def test_double_wait_rejected():
+    futex = FutexTable()
+    futex.wait(1, 10)
+    with pytest.raises(SimulationError):
+        futex.wait(1, 10)
+
+
+def test_remove_for_timeouts():
+    futex = FutexTable()
+    futex.wait(1, 10)
+    assert futex.remove(1, 10) is True
+    assert futex.remove(1, 10) is False
+    assert futex.wake(1) == []
+
+
+def test_call_statistics():
+    futex = FutexTable()
+    futex.wait(1, 10)
+    futex.wake(1)
+    futex.wake(1)
+    assert futex.wait_calls == 1
+    assert futex.wake_calls == 2

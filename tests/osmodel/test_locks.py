@@ -1,0 +1,84 @@
+"""Mutex and barrier state machines."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.osmodel.locks import BarrierState, MutexState
+
+
+class TestMutex:
+    def test_fast_path(self):
+        mutex = MutexState(lock_id=1)
+        assert mutex.acquire(10) is True
+        assert mutex.owner == 10
+        assert mutex.release(10) is None
+        assert mutex.owner is None
+
+    def test_contended_handoff_is_fifo(self):
+        mutex = MutexState(lock_id=1)
+        assert mutex.acquire(10)
+        assert mutex.acquire(11) is False
+        assert mutex.acquire(12) is False
+        assert mutex.release(10) == 11
+        assert mutex.owner == 11  # direct handoff
+        assert mutex.release(11) == 12
+        assert mutex.release(12) is None
+
+    def test_recursive_acquire_rejected(self):
+        mutex = MutexState(lock_id=1)
+        mutex.acquire(10)
+        with pytest.raises(SimulationError):
+            mutex.acquire(10)
+
+    def test_release_by_non_owner_rejected(self):
+        mutex = MutexState(lock_id=1)
+        mutex.acquire(10)
+        with pytest.raises(SimulationError):
+            mutex.release(11)
+
+    def test_double_queue_rejected(self):
+        mutex = MutexState(lock_id=1)
+        mutex.acquire(10)
+        mutex.acquire(11)
+        with pytest.raises(SimulationError):
+            mutex.acquire(11)
+
+    def test_contention_ratio(self):
+        mutex = MutexState(lock_id=1)
+        mutex.acquire(10)
+        mutex.acquire(11)
+        mutex.release(10)
+        mutex.release(11)
+        assert mutex.contention_ratio == pytest.approx(0.5)
+
+
+class TestBarrier:
+    def test_trips_on_last_arrival(self):
+        barrier = BarrierState(barrier_id=1, parties=3)
+        assert barrier.arrive(1) is None
+        assert barrier.arrive(2) is None
+        released = barrier.arrive(3)
+        assert sorted(released) == [1, 2]
+        assert barrier.generation == 1
+
+    def test_reusable_across_generations(self):
+        barrier = BarrierState(barrier_id=1, parties=2)
+        assert barrier.arrive(1) is None
+        assert barrier.arrive(2) == [1]
+        assert barrier.arrive(2) is None
+        assert barrier.arrive(1) == [2]
+        assert barrier.generation == 2
+
+    def test_single_party_never_sleeps(self):
+        barrier = BarrierState(barrier_id=1, parties=1)
+        assert barrier.arrive(5) == []
+
+    def test_double_arrival_rejected(self):
+        barrier = BarrierState(barrier_id=1, parties=3)
+        barrier.arrive(1)
+        with pytest.raises(SimulationError):
+            barrier.arrive(1)
+
+    def test_invalid_parties(self):
+        with pytest.raises(SimulationError):
+            BarrierState(barrier_id=1, parties=0)

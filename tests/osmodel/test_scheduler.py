@@ -1,0 +1,87 @@
+"""CPU scheduler: dispatch, queueing, preemption."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.osmodel.scheduler import Scheduler
+
+
+def test_dispatch_until_cores_full_then_queue():
+    sched = Scheduler(n_cores=2)
+    d0 = sched.make_runnable(10)
+    d1 = sched.make_runnable(11)
+    d2 = sched.make_runnable(12)
+    assert d0 is not None and d1 is not None
+    assert {d0.core, d1.core} == {0, 1}
+    assert d2 is None
+    assert sched.queued_tids == [12]
+    assert sched.is_oversubscribed()
+
+
+def test_remove_hands_core_to_queued_thread():
+    sched = Scheduler(n_cores=1)
+    sched.make_runnable(10)
+    sched.make_runnable(11)
+    dispatch = sched.remove(10)
+    assert dispatch.tid == 11
+    assert dispatch.core == 0
+    assert sched.remove(11) is None
+    assert sched.core_of(11) is None
+
+
+def test_remove_queued_thread():
+    sched = Scheduler(n_cores=1)
+    sched.make_runnable(10)
+    sched.make_runnable(11)
+    assert sched.remove(11) is None  # still queued, just drops out
+    assert sched.queued_tids == []
+
+
+def test_remove_unknown_thread_rejected():
+    sched = Scheduler(n_cores=1)
+    with pytest.raises(SimulationError):
+        sched.remove(99)
+
+
+def test_double_runnable_rejected():
+    sched = Scheduler(n_cores=1)
+    sched.make_runnable(10)
+    with pytest.raises(SimulationError):
+        sched.make_runnable(10)
+
+
+def test_should_preempt_requires_queue_and_expired_slice():
+    sched = Scheduler(n_cores=1, timeslice_ns=1000.0)
+    sched.make_runnable(10)
+    assert not sched.should_preempt(10, 5000.0)  # nobody waiting
+    sched.make_runnable(11)
+    assert not sched.should_preempt(10, 500.0)  # slice not expired
+    assert sched.should_preempt(10, 1000.0)
+
+
+def test_preempt_round_robin():
+    sched = Scheduler(n_cores=1, timeslice_ns=1.0)
+    sched.make_runnable(10)
+    sched.make_runnable(11)
+    dispatch = sched.preempt(10)
+    assert dispatch.tid == 11
+    assert sched.queued_tids == [10]
+    dispatch = sched.preempt(11)
+    assert dispatch.tid == 10
+    assert sched.queued_tids == [11]
+
+
+def test_preempt_without_queue_rejected():
+    sched = Scheduler(n_cores=1)
+    sched.make_runnable(10)
+    with pytest.raises(SimulationError):
+        sched.preempt(10)
+
+
+def test_core_reuse_after_free():
+    sched = Scheduler(n_cores=2)
+    d0 = sched.make_runnable(10)
+    sched.make_runnable(11)
+    sched.remove(10)
+    d2 = sched.make_runnable(12)
+    assert d2.core == d0.core  # the freed core is the only one available

@@ -1,0 +1,67 @@
+"""SimThread bookkeeping, notably partial counter interpolation."""
+
+import pytest
+
+from repro.arch.counters import CounterSet
+from repro.osmodel.threadmodel import SimThread, ThreadKind, ThreadState
+
+
+def make_thread():
+    return SimThread(
+        tid=1, name="t1", kind=ThreadKind.APPLICATION, program=iter(())
+    )
+
+
+def test_defaults():
+    thread = make_thread()
+    assert thread.state is ThreadState.RUNNABLE
+    assert thread.counters.is_zero()
+    assert not thread.is_service
+
+
+def test_service_kinds():
+    gc = SimThread(tid=2, name="gc", kind=ThreadKind.GC, program=iter(()))
+    jit = SimThread(tid=3, name="jit", kind=ThreadKind.JIT, program=iter(()))
+    assert gc.is_service and jit.is_service
+
+
+def test_partial_counters_without_segment():
+    thread = make_thread()
+    thread.counters.insns = 500
+    snap = thread.partial_counters(123.0)
+    assert snap.insns == 500
+    snap.insns = 0
+    assert thread.counters.insns == 500  # snapshot is a copy
+
+
+def test_partial_counters_interpolates_linearly():
+    thread = make_thread()
+    thread.segment_start_ns = 100.0
+    thread.segment_wall_ns = 200.0
+    thread.segment_counters = CounterSet(
+        active_ns=200.0, crit_ns=40.0, insns=1000
+    )
+    halfway = thread.partial_counters(200.0)
+    assert halfway.active_ns == pytest.approx(100.0)
+    assert halfway.crit_ns == pytest.approx(20.0)
+    assert halfway.insns == 500
+
+
+def test_partial_counters_clamped_to_segment():
+    thread = make_thread()
+    thread.segment_start_ns = 0.0
+    thread.segment_wall_ns = 100.0
+    thread.segment_counters = CounterSet(active_ns=100.0)
+    before = thread.partial_counters(-50.0)
+    after = thread.partial_counters(500.0)
+    assert before.active_ns == 0.0
+    assert after.active_ns == pytest.approx(100.0)
+
+
+def test_partial_counters_monotone_in_time():
+    thread = make_thread()
+    thread.segment_start_ns = 0.0
+    thread.segment_wall_ns = 100.0
+    thread.segment_counters = CounterSet(active_ns=100.0, insns=997)
+    values = [thread.partial_counters(t).insns for t in range(0, 101, 7)]
+    assert values == sorted(values)

@@ -1,0 +1,55 @@
+"""Property tests for counter arithmetic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.counters import CounterSet
+
+floats = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+ints = st.integers(min_value=0, max_value=10**12)
+
+
+def counter_sets():
+    return st.builds(
+        CounterSet,
+        active_ns=floats, crit_ns=floats, leading_ns=floats,
+        stall_ns=floats, sqfull_ns=floats, insns=ints, stores=ints,
+    )
+
+
+@given(a=counter_sets(), b=counter_sets())
+@settings(max_examples=200)
+def test_add_then_delta_roundtrips(a, b):
+    total = a + b
+    recovered = total.delta_since(a)
+    # Integer counters roundtrip exactly; float ones to within the
+    # cancellation error of the larger operand.
+    assert recovered.insns == b.insns
+    assert recovered.stores == b.stores
+    for field in ("active_ns", "crit_ns", "leading_ns", "stall_ns", "sqfull_ns"):
+        expected = getattr(b, field)
+        tolerance = 1e-9 * max(getattr(a, field), expected, 1.0)
+        assert abs(getattr(recovered, field) - expected) <= tolerance
+
+
+@given(a=counter_sets(), b=counter_sets(), c=counter_sets())
+@settings(max_examples=100)
+def test_addition_associative(a, b, c):
+    left = (a + b) + c
+    right = a + (b + c)
+    assert left.insns == right.insns
+    assert abs(left.active_ns - right.active_ns) <= 1e-3
+
+
+@given(a=counter_sets())
+@settings(max_examples=100)
+def test_zero_identity(a):
+    assert a + CounterSet() == a
+    assert a.delta_since(CounterSet()) == a
+    assert a.delta_since(a).is_zero()
+
+
+@given(a=counter_sets())
+@settings(max_examples=100)
+def test_copy_equals_but_is_not_same(a):
+    b = a.copy()
+    assert b == a and b is not a

@@ -1,0 +1,80 @@
+"""Property tests for DEP's Algorithm 1 (across-epoch CTP)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.counters import CounterSet
+from repro.core.dep import DepPredictor
+from repro.core.epochs import Epoch
+
+n_threads = st.integers(min_value=1, max_value=4)
+
+
+@st.composite
+def epoch_sequences(draw):
+    """Random epoch sequences with consistent per-thread decompositions."""
+    threads = draw(n_threads)
+    count = draw(st.integers(min_value=1, max_value=12))
+    epochs = []
+    cursor = 0.0
+    for index in range(count):
+        duration = draw(st.floats(min_value=1.0, max_value=1e6,
+                                  allow_nan=False))
+        deltas = {}
+        for tid in range(threads):
+            if draw(st.booleans()) or threads == 1:
+                nonscaling = draw(
+                    st.floats(min_value=0.0, max_value=duration,
+                              allow_nan=False)
+                )
+                deltas[tid] = CounterSet(
+                    active_ns=duration, crit_ns=nonscaling
+                )
+        stall = draw(st.sampled_from([None] + list(range(threads))))
+        epochs.append(
+            Epoch(index=index, start_ns=cursor, end_ns=cursor + duration,
+                  thread_deltas=deltas, stall_tid=stall, during_gc=False)
+        )
+        cursor += duration
+    return epochs
+
+
+@given(epochs=epoch_sequences(), freq=st.floats(min_value=0.5, max_value=4.0))
+@settings(max_examples=150, deadline=None)
+def test_identity_at_base_frequency(epochs, freq):
+    predictor = DepPredictor()
+    total = sum(e.duration_ns for e in epochs)
+    predicted = predictor.predict_epochs(epochs, freq, freq)
+    assert abs(predicted - total) <= 1e-6 * max(1.0, total)
+
+
+@given(epochs=epoch_sequences())
+@settings(max_examples=150, deadline=None)
+def test_per_epoch_upper_bounds_across_epoch(epochs):
+    """Per-epoch CTP ignores accumulated slack, so it always predicts at
+    least as much time as Algorithm 1 (delta counters are non-negative)."""
+    across = DepPredictor(across_epoch_ctp=True).predict_epochs(epochs, 1.0, 4.0)
+    per = DepPredictor(across_epoch_ctp=False).predict_epochs(epochs, 1.0, 4.0)
+    assert per >= across - 1e-6
+
+
+@given(epochs=epoch_sequences())
+@settings(max_examples=150, deadline=None)
+def test_prediction_bounded_by_nonscaling_and_measured(epochs):
+    predictor = DepPredictor()
+    predicted = predictor.predict_epochs(epochs, 1.0, 4.0)
+    total = sum(e.duration_ns for e in epochs)
+    # Speeding up can never beat the 4x ideal nor exceed measured time by
+    # more than numerical noise.
+    assert predicted <= total + 1e-6
+    assert predicted >= total / 4.0 - 1e-6
+
+
+@given(epochs=epoch_sequences(), lo=st.floats(min_value=1.0, max_value=4.0),
+       hi=st.floats(min_value=1.0, max_value=4.0))
+@settings(max_examples=100, deadline=None)
+def test_monotone_in_target_frequency(epochs, lo, hi):
+    lo, hi = sorted((lo, hi))
+    predictor = DepPredictor()
+    slow = predictor.predict_epochs(epochs, 1.0, lo)
+    fast = predictor.predict_epochs(epochs, 1.0, hi)
+    assert fast <= slow + 1e-6

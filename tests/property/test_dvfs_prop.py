@@ -1,0 +1,51 @@
+"""Property tests: DVFS domain bookkeeping under random switch sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.frequency import DvfsDomain
+from repro.arch.specs import haswell_i7_4770k
+
+_SPEC = haswell_i7_4770k()
+_POINTS = list(_SPEC.frequencies())
+
+
+@given(targets=st.lists(st.sampled_from(_POINTS), max_size=40))
+@settings(max_examples=150)
+def test_chip_wide_transition_accounting(targets):
+    domain = DvfsDomain(_SPEC)
+    expected_transitions = 0
+    current = domain.current_freq_ghz
+    for target in targets:
+        cost = domain.set_frequency(target)
+        if target != current:
+            expected_transitions += 1
+            assert cost == _SPEC.dvfs_transition_ns
+        else:
+            assert cost == 0.0
+        current = target
+        assert domain.current_freq_ghz == target
+    assert domain.transitions == expected_transitions
+    assert domain.transition_time_ns == (
+        expected_transitions * _SPEC.dvfs_transition_ns
+    )
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from(_POINTS),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=150)
+def test_per_core_independence(ops):
+    domain = DvfsDomain(_SPEC, per_core=True)
+    shadow = {core: _SPEC.max_freq_ghz for core in range(_SPEC.n_cores)}
+    for core, target in ops:
+        domain.set_core_frequency(core, target)
+        shadow[core] = target
+        for other in range(_SPEC.n_cores):
+            assert domain.frequency_of(other) == shadow[other]
+        assert domain.current_freq_ghz == max(shadow.values())

@@ -1,0 +1,56 @@
+"""Property tests: epoch decomposition of randomized simulated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.epochs import extract_epochs, total_epoch_time
+from repro.sim.run import simulate
+from repro.workloads.synthetic import SyntheticWorkloadConfig, build_synthetic_program
+
+
+@st.composite
+def workload_configs(draw):
+    return SyntheticWorkloadConfig(
+        name="prop",
+        seed=draw(st.integers(min_value=0, max_value=50)),
+        n_threads=draw(st.integers(min_value=1, max_value=4)),
+        n_units=draw(st.integers(min_value=8, max_value=24)),
+        unit_insns=20_000,
+        clusters_per_kinsn=draw(st.floats(min_value=0.0, max_value=2.0)),
+        alloc_bytes_per_unit=draw(st.sampled_from([0, 16_384, 131_072])),
+        alloc_every=2,
+        cs_probability=draw(st.floats(min_value=0.0, max_value=0.6)),
+        serialized_fraction=draw(st.sampled_from([0.0, 0.4])),
+        barrier_period=draw(st.sampled_from([0, 5])),
+        nursery_mb=2,
+        heap_mb=32,
+    )
+
+
+@given(config=workload_configs(), freq=st.sampled_from([1.0, 2.5, 4.0]))
+@settings(max_examples=25, deadline=None)
+def test_epochs_tile_any_simulated_run(config, freq):
+    program = build_synthetic_program(config)
+    trace = simulate(program, freq).trace
+    trace.validate()
+    epochs = extract_epochs(trace.events)
+    assert abs(total_epoch_time(epochs) - trace.total_ns) <= 1e-6 * max(
+        1.0, trace.total_ns
+    )
+    for epoch in epochs:
+        assert epoch.end_ns > epoch.start_ns
+        for delta in epoch.thread_deltas.values():
+            # No thread can be on-core longer than the epoch lasted.
+            assert delta.active_ns <= epoch.duration_ns * (1 + 1e-6)
+            assert delta.crit_ns >= -1e-9
+            assert delta.sqfull_ns >= -1e-9
+
+
+@given(config=workload_configs())
+@settings(max_examples=15, deadline=None)
+def test_dep_identity_on_random_programs(config):
+    from repro.core.dep import DepPredictor
+
+    program = build_synthetic_program(config)
+    result = simulate(program, 2.0)
+    predicted = DepPredictor().predict_total_ns(result.trace, 2.0)
+    assert abs(predicted / result.total_ns - 1.0) < 0.02

@@ -1,0 +1,60 @@
+"""Property tests for heap accounting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.jvm.heap import HeapState
+
+MB = 1 << 20
+
+
+@st.composite
+def allocation_runs(draw):
+    nursery = draw(st.integers(min_value=1, max_value=16)) * MB
+    heap = nursery + draw(st.integers(min_value=1, max_value=64)) * MB
+    allocations = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=nursery),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    survival = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    return heap, nursery, allocations, survival
+
+
+@given(run=allocation_runs())
+@settings(max_examples=150, deadline=None)
+def test_heap_invariants_hold_throughout(run):
+    heap_bytes, nursery_bytes, allocations, survival = run
+    heap = HeapState(heap_bytes=heap_bytes, nursery_bytes=nursery_bytes)
+    gcs = 0
+    for size in allocations:
+        if not heap.fits(size):
+            if heap.needs_full_gc():
+                heap.do_full_gc(survival, mature_live_fraction=0.4)
+            else:
+                heap.do_minor_gc(survival)
+            gcs += 1
+        heap.allocate(size)
+        # Invariants after every step.
+        assert 0 <= heap.nursery_used <= heap.nursery_bytes
+        assert 0 <= heap.mature_used <= heap.mature_capacity
+    assert heap.gc_count == gcs
+    assert heap.total_allocated == sum(allocations)
+
+
+@given(
+    survival=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    used=st.integers(min_value=0, max_value=8 * MB),
+)
+@settings(max_examples=100)
+def test_plan_is_pure_and_commit_matches(survival, used):
+    heap = HeapState(heap_bytes=64 * MB, nursery_bytes=8 * MB)
+    if used:
+        heap.allocate(used)
+    before = (heap.nursery_used, heap.mature_used)
+    planned = heap.plan_minor(survival)
+    assert (heap.nursery_used, heap.mature_used) == before
+    heap.commit_minor(planned)
+    assert heap.mature_used == before[1] + planned
+    assert planned <= used

@@ -1,0 +1,71 @@
+"""Property tests: mutex/barrier state machines under random schedules."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.osmodel.locks import BarrierState, MutexState
+
+
+@st.composite
+def mutex_schedules(draw):
+    """Random interleavings of acquire attempts over a small thread pool."""
+    n_threads = draw(st.integers(min_value=1, max_value=5))
+    steps = draw(st.integers(min_value=1, max_value=80))
+    return n_threads, steps, draw(st.randoms(use_true_random=False))
+
+
+@given(schedule=mutex_schedules())
+@settings(max_examples=150, deadline=None)
+def test_mutex_mutual_exclusion_and_progress(schedule):
+    n_threads, steps, rng = schedule
+    mutex = MutexState(lock_id=1)
+    # Thread states: "idle" (may acquire), "owner", "waiting".
+    states = {tid: "idle" for tid in range(n_threads)}
+    acquired_count = 0
+    for _ in range(steps):
+        tid = rng.randrange(n_threads)
+        if states[tid] == "idle":
+            if mutex.acquire(tid):
+                states[tid] = "owner"
+                assert mutex.owner == tid
+            else:
+                states[tid] = "waiting"
+        elif states[tid] == "owner":
+            handoff = mutex.release(tid)
+            states[tid] = "idle"
+            acquired_count += 1
+            if handoff is not None:
+                assert states[handoff] == "waiting"
+                states[handoff] = "owner"
+                assert mutex.owner == handoff
+        # Invariant: exactly one owner iff mutex.owner is set.
+        owners = [t for t, s in states.items() if s == "owner"]
+        assert len(owners) <= 1
+        assert (mutex.owner in owners) if owners else (mutex.owner is None)
+    # Drain: release the final owner and let every waiter through.
+    owners = [t for t, s in states.items() if s == "owner"]
+    while owners:
+        handoff = mutex.release(owners[0])
+        states[owners[0]] = "idle"
+        owners = [handoff] if handoff is not None else []
+    assert mutex.owner is None
+    assert not mutex.waiters
+
+
+@given(
+    parties=st.integers(min_value=1, max_value=6),
+    generations=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_barrier_generations(parties, generations):
+    barrier = BarrierState(barrier_id=1, parties=parties)
+    for generation in range(generations):
+        released = None
+        for tid in range(parties):
+            result = barrier.arrive(tid)
+            if tid < parties - 1:
+                assert result is None
+            else:
+                released = result
+        assert sorted(released) == list(range(parties - 1))
+        assert barrier.generation == generation + 1
+        assert barrier.arrived == 0

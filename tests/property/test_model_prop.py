@@ -1,0 +1,40 @@
+"""Property tests for the scaling/non-scaling prediction arithmetic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.counters import CounterSet
+from repro.core.model import TimeDecomposition, decompose
+
+times = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+freqs = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@given(scaling=times, nonscaling=times, f=freqs)
+@settings(max_examples=200)
+def test_identity_at_base(scaling, nonscaling, f):
+    dec = TimeDecomposition(scaling, nonscaling)
+    assert abs(dec.predict_ns(f, f) - dec.total_ns) <= 1e-6 * max(1.0, dec.total_ns)
+
+
+@given(scaling=times, nonscaling=times, base=freqs, a=freqs, b=freqs)
+@settings(max_examples=200)
+def test_prediction_monotone_in_target_frequency(scaling, nonscaling, base, a, b):
+    dec = TimeDecomposition(scaling, nonscaling)
+    lo, hi = sorted((a, b))
+    assert dec.predict_ns(base, hi) <= dec.predict_ns(base, lo) + 1e-6
+
+
+@given(scaling=times, nonscaling=times, base=freqs, target=freqs)
+@settings(max_examples=200)
+def test_prediction_bounded_by_nonscaling(scaling, nonscaling, base, target):
+    dec = TimeDecomposition(scaling, nonscaling)
+    assert dec.predict_ns(base, target) >= nonscaling - 1e-9
+
+
+@given(wall=times, crit=times)
+@settings(max_examples=200)
+def test_decompose_always_valid(wall, crit):
+    counters = CounterSet(crit_ns=crit)
+    dec = decompose(wall, counters, lambda c: c.crit_ns)
+    assert 0.0 <= dec.nonscaling_ns <= wall + 1e-9
+    assert abs(dec.total_ns - wall) <= 1e-6 * max(1.0, wall)

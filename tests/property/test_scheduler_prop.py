@@ -1,0 +1,102 @@
+"""Property tests: the scheduler against a reference model.
+
+Random sequences of make_runnable / remove / preempt are applied to the
+scheduler and to a trivially-correct reference (sets + FIFO list); the two
+must agree on who runs and who queues after every operation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.osmodel.scheduler import Scheduler
+
+
+class ReferenceScheduler:
+    """Obviously-correct model: first N runnable tids run, rest queue FIFO."""
+
+    def __init__(self, n_cores):
+        self.n_cores = n_cores
+        self.running = []
+        self.queue = []
+
+    def make_runnable(self, tid):
+        if len(self.running) < self.n_cores:
+            self.running.append(tid)
+        else:
+            self.queue.append(tid)
+
+    def remove(self, tid):
+        if tid in self.running:
+            self.running.remove(tid)
+            if self.queue:
+                self.running.append(self.queue.pop(0))
+        elif tid in self.queue:
+            self.queue.remove(tid)
+
+    def preempt(self, tid):
+        self.running.remove(tid)
+        self.running.append(self.queue.pop(0))
+        self.queue.append(tid)
+
+
+@st.composite
+def operation_sequences(draw):
+    n_cores = draw(st.integers(min_value=1, max_value=4))
+    ops = []
+    live = set()
+    next_tid = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=60))):
+        choices = ["spawn"]
+        if live:
+            choices.append("remove")
+        ops_kind = draw(st.sampled_from(choices))
+        if ops_kind == "spawn":
+            ops.append(("spawn", next_tid))
+            live.add(next_tid)
+            next_tid += 1
+        else:
+            victim = draw(st.sampled_from(sorted(live)))
+            ops.append(("remove", victim))
+            live.discard(victim)
+    return n_cores, ops
+
+
+@given(seq=operation_sequences())
+@settings(max_examples=150, deadline=None)
+def test_scheduler_matches_reference(seq):
+    n_cores, ops = seq
+    sched = Scheduler(n_cores=n_cores)
+    ref = ReferenceScheduler(n_cores)
+    for kind, tid in ops:
+        if kind == "spawn":
+            sched.make_runnable(tid)
+            ref.make_runnable(tid)
+        else:
+            sched.remove(tid)
+            ref.remove(tid)
+        assert sorted(sched.running_tids) == sorted(ref.running)
+        assert sched.queued_tids == ref.queue
+        assert len(sched.running_tids) <= n_cores
+        # Work-conserving: a core is idle only when nothing queues.
+        if sched.queued_tids:
+            assert len(sched.running_tids) == n_cores
+
+
+@given(seq=operation_sequences(), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_preemption_round_robin_matches_reference(seq, data):
+    n_cores, ops = seq
+    sched = Scheduler(n_cores=n_cores)
+    ref = ReferenceScheduler(n_cores)
+    for kind, tid in ops:
+        if kind == "spawn":
+            sched.make_runnable(tid)
+            ref.make_runnable(tid)
+        else:
+            sched.remove(tid)
+            ref.remove(tid)
+        if sched.queued_tids and data.draw(st.booleans()):
+            victim = data.draw(st.sampled_from(sorted(sched.running_tids)))
+            sched.preempt(victim)
+            ref.preempt(victim)
+        assert sorted(sched.running_tids) == sorted(ref.running)
+        assert sched.queued_tids == ref.queue

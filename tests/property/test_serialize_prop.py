@@ -1,0 +1,40 @@
+"""Property test: serialization round-trips arbitrary simulated traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.predictors import make_predictor
+from repro.sim.run import simulate
+from repro.sim.serialize import trace_from_dict, trace_to_dict
+from repro.workloads.synthetic import SyntheticWorkloadConfig, build_synthetic_program
+
+
+@st.composite
+def small_configs(draw):
+    return SyntheticWorkloadConfig(
+        name="ser-prop",
+        seed=draw(st.integers(min_value=0, max_value=30)),
+        n_threads=draw(st.integers(min_value=1, max_value=3)),
+        n_units=draw(st.integers(min_value=8, max_value=16)),
+        unit_insns=15_000,
+        clusters_per_kinsn=draw(st.floats(min_value=0.0, max_value=1.5)),
+        alloc_bytes_per_unit=draw(st.sampled_from([0, 262_144])),
+        alloc_every=2,
+        cs_probability=draw(st.floats(min_value=0.0, max_value=0.5)),
+        nursery_mb=2,
+        heap_mb=32,
+    )
+
+
+@given(config=small_configs(), freq=st.sampled_from([1.0, 2.5, 4.0]))
+@settings(max_examples=15, deadline=None)
+def test_roundtrip_preserves_predictions(config, freq):
+    trace = simulate(build_synthetic_program(config), freq).trace
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    rebuilt.validate()
+    assert rebuilt.total_ns == trace.total_ns
+    assert len(rebuilt.events) == len(trace.events)
+    for name in ("M+CRIT", "DEP+BURST"):
+        predictor = make_predictor(name)
+        assert predictor.predict_total_ns(
+            rebuilt, 2.0
+        ) == predictor.predict_total_ns(trace, 2.0)

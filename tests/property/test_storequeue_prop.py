@@ -1,0 +1,52 @@
+"""Property tests for the store-queue fluid model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.storequeue import StoreQueueConfig, StoreQueueModel
+
+bursts = st.integers(min_value=1, max_value=100_000)
+drains = st.floats(min_value=0.05, max_value=20.0, allow_nan=False)
+freqs = st.floats(min_value=0.25, max_value=8.0, allow_nan=False)
+entries = st.integers(min_value=1, max_value=512)
+issues = st.floats(min_value=0.1, max_value=8.0, allow_nan=False)
+
+
+@given(n=bursts, drain=drains, freq=freqs, q=entries, issue=issues)
+@settings(max_examples=200, deadline=None)
+def test_wall_bounds(n, drain, freq, q, issue):
+    model = StoreQueueModel(StoreQueueConfig(entries=q), issue)
+    t = model.burst(n, drain, freq)
+    # Wall time is at least the unconstrained issue time and at most the
+    # fully drain-serialized time plus the fill transient.
+    assert t.wall_ns >= t.issue_ns - 1e-9
+    assert t.wall_ns <= n * drain + t.issue_ns + 1e-6
+    assert t.sq_full_ns >= 0.0
+    assert t.sq_full_ns <= t.wall_ns + 1e-9
+
+
+@given(n=bursts, drain=drains, q=entries, issue=issues)
+@settings(max_examples=150, deadline=None)
+def test_wall_monotone_nonincreasing_in_frequency(n, drain, q, issue):
+    model = StoreQueueModel(StoreQueueConfig(entries=q), issue)
+    walls = [model.burst(n, drain, f).wall_ns for f in (0.5, 1.0, 2.0, 4.0)]
+    for slower, faster in zip(walls, walls[1:]):
+        assert faster <= slower + 1e-6
+
+
+@given(n=bursts, drain=drains, freq=freqs, q=entries, issue=issues)
+@settings(max_examples=150, deadline=None)
+def test_stall_flag_consistent_with_counter(n, drain, freq, q, issue):
+    model = StoreQueueModel(StoreQueueConfig(entries=q), issue)
+    t = model.burst(n, drain, freq)
+    assert t.stalled == (t.sq_full_ns > 0.0)
+
+
+@given(drain=drains, freq=freqs, q=entries, issue=issues)
+@settings(max_examples=100, deadline=None)
+def test_wall_superadditive_in_burst_size(drain, freq, q, issue):
+    # Two half bursts never take longer than one full burst (the full
+    # burst carries the queue backlog through).
+    model = StoreQueueModel(StoreQueueConfig(entries=q), issue)
+    full = model.burst(2000, drain, freq).wall_ns
+    halves = 2 * model.burst(1000, drain, freq).wall_ns
+    assert full >= halves - 1e-6

@@ -1,0 +1,50 @@
+"""The repro-trace CLI."""
+
+import pytest
+
+from repro.sim.cli import main
+
+
+@pytest.fixture(scope="module")
+def archived_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "pmd_scale.json.gz"
+    code = main([
+        "simulate", "pmd_scale", "--freq", "1.0", "--scale", "0.02",
+        "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+def test_simulate_writes_archive(archived_trace, capsys):
+    assert archived_trace.exists()
+    assert archived_trace.stat().st_size > 100
+
+
+def test_stats_subcommand(archived_trace, capsys):
+    assert main(["stats", str(archived_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "Trace statistics" in out
+    assert "Criticality stack" in out
+    assert "pmd_scale-worker-0" in out
+
+
+def test_predict_single_model(archived_trace, capsys):
+    assert main(["predict", str(archived_trace), "--target", "4.0"]) == 0
+    out = capsys.readouterr().out
+    assert "DEP+BURST" in out
+    assert "4 GHz" in out
+
+
+def test_predict_all_models(archived_trace, capsys):
+    assert main([
+        "predict", str(archived_trace), "--target", "2.0", "--all-models",
+    ]) == 0
+    out = capsys.readouterr().out
+    for model in ("M+CRIT", "COOP", "DEP", "DEP+BURST"):
+        assert model in out
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["simulate", "h2", "--out", "x.json"])

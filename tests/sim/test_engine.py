@@ -1,0 +1,56 @@
+"""Event queue."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import EventQueue
+
+
+def test_pops_in_time_order():
+    queue = EventQueue()
+    queue.push(30.0, "c")
+    queue.push(10.0, "a")
+    queue.push(20.0, "b")
+    assert [queue.pop().payload for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    queue.push(5.0, "first")
+    queue.push(5.0, "second")
+    assert queue.pop().payload == "first"
+    assert queue.pop().payload == "second"
+
+
+def test_clock_advances_monotonically():
+    queue = EventQueue()
+    queue.push(10.0, "a")
+    queue.pop()
+    assert queue.now_ns == 10.0
+    queue.push(10.0, "b")  # same time is allowed
+    queue.pop()
+    assert queue.now_ns == 10.0
+
+
+def test_push_in_past_rejected():
+    queue = EventQueue()
+    queue.push(10.0, "a")
+    queue.pop()
+    with pytest.raises(SimulationError):
+        queue.push(5.0, "late")
+
+
+def test_empty_pop_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert not queue
+    queue.push(1.0, "x")
+    assert queue and len(queue) == 1
+
+
+def test_tokens_carried_through():
+    queue = EventQueue()
+    queue.push(1.0, ("seg", 3), token=7)
+    event = queue.pop()
+    assert event.token == 7
+    assert event.payload == ("seg", 3)

@@ -1,0 +1,94 @@
+"""Mid-run DVFS transitions: rescaling correctness."""
+
+import pytest
+
+from repro.sim.run import simulate_managed, simulate
+from repro.sim.trace import EventKind
+from tests.util import compute, make_program, memory
+
+
+def one_shot_governor(target_ghz, at_interval=0):
+    state = {"fired": False}
+
+    def governor(record, trace):
+        if state["fired"] or record.index < at_interval:
+            return None
+        state["fired"] = True
+        return target_ghz
+
+    return governor
+
+
+def test_compute_rescaling_matches_closed_form():
+    # One thread, pure compute, switch 4 GHz -> 2 GHz at the first quantum.
+    total_cycles = 8_000_000 * 0.5  # insns * cpi
+    program = make_program(
+        [[compute(1_000_000, cpi=0.5) for _ in range(8)]]
+    )
+    quantum = 2.5e5
+    result = simulate_managed(
+        program, one_shot_governor(2.0), initial_freq_ghz=4.0,
+        quantum_ns=quantum,
+    )
+    # Closed form: quantum at 4 GHz, 2 us transition stall, rest at 2 GHz.
+    done_cycles = quantum * 4.0
+    expected = quantum + 2_000.0 + (total_cycles - done_cycles) / 2.0
+    assert result.total_ns == pytest.approx(expected, rel=0.01)
+
+
+def test_switch_to_same_frequency_is_free():
+    program = make_program([[compute(4_000_000, cpi=0.5)]])
+    baseline = simulate(program, 4.0)
+    result = simulate_managed(
+        program, one_shot_governor(4.0), initial_freq_ghz=4.0,
+        quantum_ns=2.5e5,
+    )
+    assert result.total_ns == pytest.approx(baseline.total_ns, rel=1e-9)
+    changes = [e for e in result.trace.events
+               if e.kind is EventKind.FREQ_CHANGE]
+    assert not changes
+
+
+def test_memory_segment_rescaling_preserves_nonscaling():
+    # A thread mid-way through a long memory segment when the switch hits:
+    # the chain latency part must not be stretched by the rescale.
+    chains = [400.0] * 50  # 20 us of chains per segment
+    program = make_program(
+        [[memory(2_000_000, cpi=0.5, chains=chains) for _ in range(4)]]
+    )
+    slow = simulate(program, 2.0)
+    switched = simulate_managed(
+        program, one_shot_governor(2.0), initial_freq_ghz=2.0,
+        quantum_ns=2.5e5,
+    )
+    # Governor no-ops (same frequency): identical to the fixed run.
+    assert switched.total_ns == pytest.approx(slow.total_ns, rel=1e-9)
+    fast_then_slow = simulate_managed(
+        program, one_shot_governor(2.0), initial_freq_ghz=4.0,
+        quantum_ns=2.5e5,
+    )
+    # Strictly between the all-4GHz and all-2GHz runs.
+    fast = simulate(program, 4.0)
+    assert fast.total_ns < fast_then_slow.total_ns < slow.total_ns + 2_100
+
+
+def test_transition_cost_recorded_in_interval():
+    program = make_program([[compute(4_000_000, cpi=0.5)]])
+    result = simulate_managed(
+        program, one_shot_governor(1.0), initial_freq_ghz=4.0,
+        quantum_ns=2.5e5,
+    )
+    costs = [r.transition_ns for r in result.trace.intervals]
+    assert sum(costs) == pytest.approx(2_000.0)
+
+
+def test_frequencies_recorded_per_interval():
+    program = make_program([[compute(6_000_000, cpi=0.5)]])
+    result = simulate_managed(
+        program, one_shot_governor(1.0), initial_freq_ghz=4.0,
+        quantum_ns=2.5e5,
+    )
+    freqs = [r.freq_ghz for r in result.trace.intervals]
+    assert freqs[0] == 4.0
+    assert freqs[-1] == 1.0
+    assert set(freqs) == {4.0, 1.0}

@@ -1,0 +1,32 @@
+"""Interval records."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.arch.counters import CounterSet
+from repro.sim.intervals import IntervalRecord
+
+
+def test_duration_and_aggregate():
+    record = IntervalRecord(
+        index=0, start_ns=0.0, end_ns=5e6, freq_ghz=2.0,
+        per_thread={
+            0: CounterSet(active_ns=4e6, insns=100),
+            1: CounterSet(active_ns=3e6, insns=50),
+        },
+    )
+    assert record.duration_ns == 5e6
+    total = record.aggregate()
+    assert total.active_ns == pytest.approx(7e6)
+    assert total.insns == 150
+    assert record.busy_core_ns == pytest.approx(7e6)
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(TraceError):
+        IntervalRecord(index=0, start_ns=10.0, end_ns=5.0, freq_ghz=1.0)
+
+
+def test_empty_interval_aggregate_is_zero():
+    record = IntervalRecord(index=0, start_ns=0.0, end_ns=1.0, freq_ghz=1.0)
+    assert record.aggregate().is_zero()

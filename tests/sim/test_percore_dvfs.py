@@ -1,0 +1,108 @@
+"""Per-core DVFS (the paper's stated future work, Section VII)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.arch.frequency import DvfsDomain
+from repro.arch.specs import haswell_i7_4770k
+from repro.sim.system import System
+from tests.util import compute, make_program
+
+
+class TestPerCoreDomain:
+    def test_chip_wide_domain_rejects_per_core_api(self):
+        domain = DvfsDomain(haswell_i7_4770k())
+        with pytest.raises(ConfigError):
+            domain.set_core_frequency(0, 2.0)
+        assert domain.frequency_of(2) == 4.0  # falls back to chip value
+
+    def test_per_core_independent_set_points(self):
+        domain = DvfsDomain(haswell_i7_4770k(), per_core=True)
+        cost = domain.set_core_frequency(1, 2.0)
+        assert cost == 2000.0
+        assert domain.frequency_of(0) == 4.0
+        assert domain.frequency_of(1) == 2.0
+        assert domain.current_freq_ghz == 4.0  # fastest core
+
+    def test_per_core_noop_switch_free(self):
+        domain = DvfsDomain(haswell_i7_4770k(), per_core=True)
+        assert domain.set_core_frequency(0, 4.0) == 0.0
+        assert domain.transitions == 0
+
+    def test_chip_wide_set_in_per_core_mode(self):
+        domain = DvfsDomain(haswell_i7_4770k(), per_core=True)
+        domain.set_core_frequency(2, 1.0)
+        domain.set_frequency(3.0)
+        assert all(domain.frequency_of(c) == 3.0 for c in range(4))
+
+    def test_core_range_checked(self):
+        domain = DvfsDomain(haswell_i7_4770k(), per_core=True)
+        with pytest.raises(ConfigError):
+            domain.set_core_frequency(7, 2.0)
+        with pytest.raises(ConfigError):
+            domain.frequency_of(9)
+
+
+class TestPerCoreSystem:
+    def _governor_slowing_core(self, core, freq):
+        """Slow one core down at the first quantum, then hold."""
+        fired = {"done": False}
+
+        def governor(record, trace):
+            if fired["done"]:
+                return None
+            fired["done"] = True
+            return {core: freq}
+
+        return governor
+
+    def test_threads_time_at_their_cores_frequency(self):
+        # Two identical threads on cores 0 and 1; slow core 1 to 1 GHz.
+        work = [compute(100_000, cpi=0.5) for _ in range(40)]
+        program = make_program([list(work), list(work)])
+        system = System(
+            program,
+            governor=self._governor_slowing_core(1, 1.0),
+            quantum_ns=1.0e5,
+            per_core_dvfs=True,
+        )
+        trace = system.run()
+        # Thread on the slowed core finishes ~4x later than the other.
+        from repro.sim.trace import EventKind
+
+        exits = {
+            e.tid: e.time_ns
+            for e in trace.events
+            if e.kind is EventKind.EXIT and e.tid in trace.app_tids()
+            and e.detail != "teardown"
+        }
+        fast, slow = sorted(exits.values())
+        assert slow > 2.5 * fast
+
+    def test_per_core_switch_emits_freq_change_event(self):
+        from repro.sim.trace import EventKind
+
+        work = [compute(100_000, cpi=0.5) for _ in range(20)]
+        program = make_program([list(work)])
+        system = System(
+            program,
+            governor=self._governor_slowing_core(0, 2.0),
+            quantum_ns=1.0e5,
+            per_core_dvfs=True,
+        )
+        trace = system.run()
+        changes = [e for e in trace.events if e.kind is EventKind.FREQ_CHANGE]
+        assert changes and "core0" in changes[0].detail
+
+    def test_chip_wide_governor_still_works_in_per_core_mode(self):
+        work = [compute(100_000, cpi=0.5) for _ in range(20)]
+        program = make_program([list(work)])
+        system = System(
+            program,
+            governor=lambda record, trace: 2.0,
+            quantum_ns=1.0e5,
+            per_core_dvfs=True,
+        )
+        trace = system.run()
+        assert trace.total_ns > 0
+        assert system.dvfs.frequency_of(0) == 2.0

@@ -1,0 +1,62 @@
+"""SimulationResult conveniences and entry-point plumbing."""
+
+import pytest
+
+from repro.arch.specs import MachineSpec
+from repro.sim.run import simulate, simulate_managed
+from tests.util import allocating_program, compute, make_program
+
+
+def test_result_unit_properties():
+    result = simulate(make_program([[compute(2_000_000, cpi=0.5)]]), 1.0)
+    assert result.total_ms == pytest.approx(result.total_ns / 1e6)
+    assert result.gc_time_ms == 0.0
+    assert result.gc_fraction == 0.0
+    assert not result.is_memory_intensive
+
+
+def test_memory_intensity_classification():
+    result = simulate(
+        allocating_program(allocations=16, alloc_bytes=1 << 20, nursery_mb=4),
+        1.0,
+    )
+    assert result.gc_fraction > 0
+    assert result.is_memory_intensive == (result.gc_fraction > 0.10)
+
+
+def test_custom_spec_is_threaded_through():
+    spec = MachineSpec(n_cores=2)
+    program = make_program([[compute(500_000)] for _ in range(4)])
+    two_cores = simulate(program, 1.0, spec=spec)
+    four_cores = simulate(program, 1.0)
+    assert two_cores.spec.n_cores == 2
+    # Half the cores -> roughly double the time for 4 equal threads.
+    assert two_cores.total_ns > 1.5 * four_cores.total_ns
+
+
+def test_simulate_managed_defaults_to_max_frequency():
+    seen = {}
+
+    def governor(record, trace):
+        seen.setdefault("first_freq", record.freq_ghz)
+        return None
+
+    simulate_managed(
+        make_program([[compute(3_000_000, cpi=0.5)]]), governor,
+        quantum_ns=2.5e5,
+    )
+    assert seen["first_freq"] == 4.0
+
+
+def test_simulate_managed_initial_frequency_override():
+    seen = {}
+
+    def governor(record, trace):
+        seen.setdefault("first_freq", record.freq_ghz)
+        return None
+
+    simulate_managed(
+        make_program([[compute(3_000_000, cpi=0.5)]]), governor,
+        initial_freq_ghz=2.0, quantum_ns=2.5e5,
+    )
+    assert seen["first_freq"] == 2.0

@@ -1,0 +1,84 @@
+"""Trace serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.sim.run import simulate
+from repro.sim.serialize import (
+    FORMAT_VERSION,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from tests.util import allocating_program, lock_pair_program
+
+
+def assert_traces_equal(a, b):
+    assert a.program_name == b.program_name
+    assert a.total_ns == b.total_ns
+    assert a.base_freq_ghz == b.base_freq_ghz
+    assert a.gc_cycles == b.gc_cycles
+    assert len(a.events) == len(b.events)
+    for ea, eb in zip(a.events, b.events):
+        assert (ea.time_ns, ea.tid, ea.kind, ea.detail) == (
+            eb.time_ns, eb.tid, eb.kind, eb.detail
+        )
+        assert ea.running_after == eb.running_after
+        assert set(ea.snapshots) == set(eb.snapshots)
+        for tid in ea.snapshots:
+            assert ea.snapshots[tid] == eb.snapshots[tid]
+    assert len(a.intervals) == len(b.intervals)
+    for ia, ib in zip(a.intervals, b.intervals):
+        assert (ia.index, ia.start_ns, ia.end_ns, ia.freq_ghz) == (
+            ib.index, ib.start_ns, ib.end_ns, ib.freq_ghz
+        )
+        assert ia.per_thread == ib.per_thread
+
+
+def test_dict_roundtrip():
+    trace = simulate(allocating_program(), 2.0).trace
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    assert_traces_equal(trace, rebuilt)
+    rebuilt.validate()
+
+
+def test_file_roundtrip_plain_and_gzip(tmp_path):
+    trace = simulate(lock_pair_program(), 1.0).trace
+    for name in ("trace.json", "trace.json.gz"):
+        path = tmp_path / name
+        save_trace(trace, path)
+        assert path.exists() and path.stat().st_size > 0
+        assert_traces_equal(trace, load_trace(path))
+
+
+def test_gzip_is_smaller(tmp_path):
+    trace = simulate(allocating_program(), 1.0).trace
+    plain = tmp_path / "t.json"
+    packed = tmp_path / "t.json.gz"
+    save_trace(trace, plain)
+    save_trace(trace, packed)
+    assert packed.stat().st_size < plain.stat().st_size
+
+
+def test_version_guard(tmp_path):
+    trace = simulate(lock_pair_program(), 1.0).trace
+    payload = trace_to_dict(trace)
+    payload["format_version"] = FORMAT_VERSION + 1
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_loaded_trace_predicts_identically():
+    from repro.core.predictors import make_predictor
+
+    trace = simulate(allocating_program(), 1.0).trace
+    rebuilt = trace_from_dict(trace_to_dict(trace))
+    predictor = make_predictor("DEP+BURST")
+    assert predictor.predict_total_ns(trace, 4.0) == pytest.approx(
+        predictor.predict_total_ns(rebuilt, 4.0)
+    )

@@ -1,0 +1,53 @@
+"""Simulator failure modes: the engine must fail loudly, not hang."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.run import simulate
+from repro.workloads.items import Acquire, BarrierWait, Release
+from tests.util import compute, make_program
+
+
+def test_deadlock_detected():
+    # Classic lock-order inversion: t0 takes A then B, t1 takes B then A.
+    t0 = [Acquire(1), compute(200_000), Acquire(2), compute(), Release(2),
+          Release(1)]
+    t1 = [Acquire(2), compute(200_000), Acquire(1), compute(), Release(1),
+          Release(2)]
+    program = make_program([t0, t1])
+    with pytest.raises(SimulationError, match="deadlock"):
+        simulate(program, 1.0)
+
+
+def test_partial_barrier_deadlocks():
+    # Barrier declared for 3 parties but only 2 threads exist.
+    actions = [compute(), BarrierWait(barrier_id=1, parties=3)]
+    program = make_program([list(actions), list(actions)])
+    with pytest.raises(SimulationError, match="deadlock"):
+        simulate(program, 1.0)
+
+
+def test_conflicting_barrier_parties_rejected():
+    t0 = [BarrierWait(barrier_id=1, parties=2)]
+    t1 = [compute(), BarrierWait(barrier_id=1, parties=3)]
+    program = make_program([t0, t1])
+    with pytest.raises(SimulationError, match="conflicting"):
+        simulate(program, 1.0)
+
+
+def test_release_without_acquire_rejected():
+    program = make_program([[compute(), Release(1)]])
+    with pytest.raises(SimulationError):
+        simulate(program, 1.0)
+
+
+def test_double_acquire_rejected():
+    program = make_program([[Acquire(1), compute(), Acquire(1)]])
+    with pytest.raises(SimulationError):
+        simulate(program, 1.0)
+
+
+def test_off_grid_frequency_rejected():
+    program = make_program([[compute()]])
+    with pytest.raises(Exception):
+        simulate(program, 2.3)

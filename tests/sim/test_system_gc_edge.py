@@ -1,0 +1,103 @@
+"""Stop-the-world edge cases."""
+
+import pytest
+
+from repro.sim.run import simulate
+from repro.sim.trace import EventKind
+from repro.workloads.items import Acquire, Allocate, BarrierWait, Release
+from tests.util import MB, compute, make_program
+
+
+def test_gc_with_lock_holder_at_rendezvous():
+    # Thread 0 holds a lock and triggers a GC inside the critical section;
+    # thread 1 is asleep on that lock. The world must stop (sleepers count
+    # as parked), collect, and both threads must finish.
+    t0 = [
+        Acquire(1),
+        compute(50_000),
+        Allocate(3 * MB),
+        Allocate(3 * MB),  # overflows the 4 MB nursery while holding lock
+        Release(1),
+        compute(50_000),
+    ]
+    t1 = [compute(10_000), Acquire(1), compute(50_000), Release(1)]
+    program = make_program([t0, t1], nursery_mb=4)
+    result = simulate(program, 1.0)
+    assert result.trace.gc_cycles == 1
+    result.trace.validate()
+
+
+def test_gc_with_threads_waiting_at_barrier():
+    # Two of three threads reach the barrier, the third triggers GC first.
+    t0 = [compute(10_000), BarrierWait(1, 3)]
+    t1 = [compute(10_000), BarrierWait(1, 3)]
+    t2 = [compute(400_000), Allocate(3 * MB), Allocate(3 * MB),
+          BarrierWait(1, 3)]
+    program = make_program([t0, t1, t2], nursery_mb=4)
+    result = simulate(program, 2.0)
+    assert result.trace.gc_cycles == 1
+    # Everyone eventually passed the barrier and exited.
+    exits = [e for e in result.trace.events
+             if e.kind is EventKind.EXIT and e.tid in result.trace.app_tids()]
+    assert len({e.tid for e in exits}) == 3
+
+
+def test_back_to_back_collections():
+    # Allocations sized so consecutive requests each trigger a collection.
+    actions = []
+    for _ in range(5):
+        actions.append(Allocate(3 * MB))
+        actions.append(Allocate(2 * MB))
+    program = make_program([actions], nursery_mb=4, survival_rate=0.1)
+    result = simulate(program, 1.0)
+    assert result.trace.gc_cycles >= 4
+    result.trace.validate()
+
+
+def test_allocation_exactly_nursery_size_boundary():
+    program = make_program(
+        [[Allocate(4 * MB), Allocate(4 * MB)]], nursery_mb=4,
+        survival_rate=0.0,
+    )
+    result = simulate(program, 1.0)
+    # First fills the nursery exactly; second triggers one collection.
+    assert result.trace.gc_cycles == 1
+
+
+def test_single_thread_gc_world_stop():
+    # With one app thread, the trigger itself is the whole rendezvous.
+    program = make_program(
+        [[compute(), Allocate(3 * MB), Allocate(3 * MB), compute()]],
+        nursery_mb=4,
+    )
+    result = simulate(program, 4.0)
+    assert result.trace.gc_cycles == 1
+    starts = [e for e in result.trace.events if e.kind is EventKind.GC_START]
+    ends = [e for e in result.trace.events if e.kind is EventKind.GC_END]
+    assert starts[0].time_ns < ends[0].time_ns
+    assert result.gc_time_ms > 0
+
+
+def test_gc_during_oversubscription():
+    # 6 threads on 4 cores; a queued (preempted) thread must still reach
+    # the rendezvous for the collection to start.
+    per_thread = []
+    for t in range(6):
+        actions = [compute(100_000) for _ in range(6)]
+        if t == 0:
+            actions.insert(3, Allocate(3 * MB))
+            actions.insert(4, Allocate(3 * MB))
+        per_thread.append(actions)
+    program = make_program(per_thread, nursery_mb=4)
+    result = simulate(program, 1.0)
+    assert result.trace.gc_cycles == 1
+    result.trace.validate()
+
+
+def test_survival_zero_keeps_mature_empty():
+    program = make_program(
+        [[Allocate(3 * MB), Allocate(3 * MB), Allocate(3 * MB)]],
+        nursery_mb=4, survival_rate=0.0,
+    )
+    result = simulate(program, 1.0)
+    assert result.trace.gc_cycles >= 1

@@ -1,0 +1,41 @@
+"""Workload action IR."""
+
+import pytest
+
+from repro.workloads.items import Acquire, Allocate, BarrierWait, Release, Run, Sleep
+from repro.arch.segments import ComputeSegment
+
+
+def test_actions_are_frozen_value_objects():
+    a = Acquire(lock_id=1)
+    assert a == Acquire(lock_id=1)
+    with pytest.raises(Exception):
+        a.lock_id = 2
+
+
+def test_barrier_requires_positive_parties():
+    BarrierWait(barrier_id=1, parties=1)
+    with pytest.raises(Exception):
+        BarrierWait(barrier_id=1, parties=0)
+
+
+def test_allocate_requires_positive_bytes():
+    Allocate(n_bytes=1)
+    with pytest.raises(Exception):
+        Allocate(n_bytes=0)
+
+
+def test_sleep_requires_positive_duration():
+    Sleep(duration_ns=1.0)
+    with pytest.raises(Exception):
+        Sleep(duration_ns=0.0)
+
+
+def test_run_wraps_segment():
+    seg = ComputeSegment(insns=10, cpi=0.5)
+    assert Run(seg).segment is seg
+
+
+def test_release_value_semantics():
+    assert Release(lock_id=3) == Release(lock_id=3)
+    assert Release(lock_id=3) != Release(lock_id=4)

@@ -1,0 +1,54 @@
+"""Microbenchmark generators."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.run import simulate
+from repro.workloads.micro import get_micro, micro_names
+
+
+def test_all_names_build_and_run():
+    for name in micro_names():
+        program = get_micro(name, units=4)
+        result = simulate(program, 2.0)
+        assert result.total_ns > 0
+        assert len(result.trace.app_tids()) == 1
+
+
+def test_six_shapes_registered():
+    assert set(micro_names()) == {
+        "compute", "pointer_chase", "streaming", "bank_conflicts",
+        "store_heavy", "mixed",
+    }
+
+
+def test_intensity_scales_memory_time():
+    lo = simulate(get_micro("pointer_chase", units=6, intensity=0.3), 1.0)
+    hi = simulate(get_micro("pointer_chase", units=6, intensity=1.5), 1.0)
+    assert hi.total_ns > lo.total_ns
+
+
+def test_compute_scales_perfectly_with_frequency():
+    program = get_micro("compute", units=6)
+    t1 = simulate(program, 1.0).total_ns
+    t4 = simulate(program, 4.0).total_ns
+    assert t1 / t4 == pytest.approx(4.0, rel=1e-6)
+
+
+def test_store_heavy_scales_far_below_frequency_ratio():
+    program = get_micro("store_heavy", units=6)
+    t1 = simulate(program, 1.0).total_ns
+    t4 = simulate(program, 4.0).total_ns
+    # The drain-bound bursts cap the speedup well below the 4x clock ratio.
+    assert t1 / t4 < 2.6
+
+
+def test_unknown_micro_rejected():
+    with pytest.raises(ConfigError):
+        get_micro("linpack")
+
+
+def test_generation_deterministic():
+    a = simulate(get_micro("mixed", units=5), 2.0).total_ns
+    b = simulate(get_micro("mixed", units=5), 2.0).total_ns
+    assert a == b

@@ -1,0 +1,38 @@
+"""Calibration helper: compare simulated benchmark stats against Table I.
+
+Runs each benchmark at a reduced scale at 1 GHz and extrapolates execution
+and GC time linearly to scale 1.0 (per-unit behaviour is scale-invariant).
+Used during development to tune the DaCapo model parameters.
+
+Usage: python tools/calibrate_table1.py [scale] [bench ...]
+"""
+
+import sys
+import time
+
+from repro import get_benchmark, simulate
+from repro.workloads.dacapo import TABLE1_EXPECTED
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.12
+    names = sys.argv[2:] or list(TABLE1_EXPECTED)
+    print(f"scale={scale}")
+    print(f"{'bench':14s} {'exec(ms)':>9s} {'target':>7s} {'gc(ms)':>7s} "
+          f"{'target':>7s} {'gc%':>6s} {'gcs':>4s} {'segs/ms':>8s} {'wall(s)':>8s}")
+    for name in names:
+        row = TABLE1_EXPECTED[name]
+        t0 = time.time()
+        bundle = get_benchmark(name, scale=scale)
+        res = simulate(bundle.program, 1.0, jvm_config=bundle.jvm_config,
+                       gc_model=bundle.gc_model)
+        wall = time.time() - t0
+        exec_x = res.total_ms / scale
+        gc_x = res.gc_time_ms / scale
+        print(f"{name:14s} {exec_x:9.0f} {row.exec_time_ms:7.0f} {gc_x:7.0f} "
+              f"{row.gc_time_ms:7.0f} {res.gc_fraction:6.1%} "
+              f"{res.trace.gc_cycles:4d} {'':8s} {wall:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Calibration helper: per-benchmark prediction errors (Figure 3 shape).
+
+Usage: python tools/check_errors.py [scale] [bench ...]
+"""
+
+import sys
+
+from repro import get_benchmark, simulate, make_predictor
+from repro.workloads.dacapo import TABLE1_EXPECTED
+
+MODELS = ("M+CRIT", "M+CRIT+BURST", "COOP", "COOP+BURST", "DEP", "DEP+BURST")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    names = sys.argv[2:] or list(TABLE1_EXPECTED)
+    rows_up = {m: [] for m in MODELS + ("DEP+BURST/pe",)}
+    rows_dn = {m: [] for m in MODELS + ("DEP+BURST/pe",)}
+    for name in names:
+        bundle = get_benchmark(name, scale=scale)
+        runs = {
+            f: simulate(bundle.program, f, jvm_config=bundle.jvm_config,
+                        gc_model=bundle.gc_model)
+            for f in (1.0, 4.0)
+        }
+        shares = {}
+        for f, res in runs.items():
+            agg = None
+            for c in res.trace.final_counters().values():
+                agg = c if agg is None else agg + c
+            span = res.total_ns
+            shares[f] = (agg.sqfull_ns / 4 / span, agg.crit_ns / 4 / span,
+                         agg.active_ns / 4 / span)
+        print(f"-- {name}: 1GHz={runs[1.0].total_ms:.0f}ms 4GHz={runs[4.0].total_ms:.0f}ms "
+              f"speedup={runs[1.0].total_ns/runs[4.0].total_ns:.2f}x gc%={runs[1.0].gc_fraction:.0%} "
+              f"| sq/crit/busy 1GHz={shares[1.0][0]:.0%}/{shares[1.0][1]:.0%}/{shares[1.0][2]:.0%} "
+              f"4GHz={shares[4.0][0]:.0%}/{shares[4.0][1]:.0%}/{shares[4.0][2]:.0%}")
+        for m in MODELS:
+            p = make_predictor(m)
+            e_up = p.predict_total_ns(runs[1.0].trace, 4.0) / runs[4.0].total_ns - 1
+            e_dn = p.predict_total_ns(runs[4.0].trace, 1.0) / runs[1.0].total_ns - 1
+            rows_up[m].append(e_up); rows_dn[m].append(e_dn)
+            print(f"   {m:14s} 1->4: {e_up:+7.1%}   4->1: {e_dn:+7.1%}")
+        pe = make_predictor("DEP+BURST", across_epoch_ctp=False)
+        e_up = pe.predict_total_ns(runs[1.0].trace, 4.0) / runs[4.0].total_ns - 1
+        e_dn = pe.predict_total_ns(runs[4.0].trace, 1.0) / runs[1.0].total_ns - 1
+        rows_up["DEP+BURST/pe"].append(e_up); rows_dn["DEP+BURST/pe"].append(e_dn)
+        print(f"   {'DEP+BURST/pe':14s} 1->4: {e_up:+7.1%}   4->1: {e_dn:+7.1%}")
+    print("\n== mean |err| ==      1->4GHz   4->1GHz   (paper: M+CRIT 27%/70%, DEP+BURST 6%/8%)")
+    for m in MODELS + ("DEP+BURST/pe",):
+        up = sum(abs(e) for e in rows_up[m]) / len(rows_up[m])
+        dn = sum(abs(e) for e in rows_dn[m]) / len(rows_dn[m])
+        print(f"   {m:14s} {up:8.1%} {dn:9.1%}")
+
+
+if __name__ == "__main__":
+    main()
