@@ -16,7 +16,11 @@ fig7      Figure 7  — dynamic manager vs static-optimal
 
 All experiments share an :class:`~repro.experiments.runner.ExperimentRunner`
 that caches ground-truth simulations (the expensive part), so running the
-whole suite simulates each benchmark once per needed frequency.
+whole suite simulates each benchmark once per needed frequency. Construct
+the runner with a :class:`~repro.experiments.cache.ResultCache` and the
+ground truths persist across processes (content-addressed, corruption
+tolerant); :func:`~repro.experiments.parallel.execute` fans a declared
+work grid out over worker processes sharing that store.
 
 The ``REPRO_SCALE`` environment variable (default 1.0) shortens every
 benchmark proportionally — error structure and energy trends are
@@ -24,11 +28,17 @@ scale-invariant, so ``REPRO_SCALE=0.3`` gives a quick faithful pass.
 """
 
 from repro.experiments.setup import ExperimentConfig, default_config
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.parallel import WorkItem, execute
 from repro.experiments.runner import ExperimentRunner, get_runner
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentRunner",
+    "ResultCache",
+    "WorkItem",
+    "default_cache_dir",
     "default_config",
+    "execute",
     "get_runner",
 ]

@@ -1,0 +1,398 @@
+"""Persistent, content-addressed result cache for ground-truth simulations.
+
+Ground-truth runs dominate the cost of every table and figure: each
+benchmark is simulated at every frequency step and again per slowdown
+threshold. :class:`~repro.experiments.runner.ExperimentRunner` memoizes
+only in-process, so every CLI invocation used to re-simulate from
+scratch. This module gives those results a durable home:
+
+* **Content-addressed keys.** An entry's key is a SHA-256 over the
+  canonical JSON of everything that determines the result: the benchmark's
+  workload spec, :class:`~repro.arch.specs.MachineSpec`,
+  :class:`~repro.jvm.runtime.JvmConfig`, the frequency or threshold, the
+  scheduling quantum, the trace :data:`~repro.sim.serialize.FORMAT_VERSION`
+  and this module's :data:`CACHE_SCHEMA_VERSION`. Same inputs → same key;
+  any config or schema change → different key, so stale entries are never
+  returned (they are simply orphaned until ``clear``).
+* **Durable values.** Fixed- and managed-run summaries are stored as small
+  JSON documents; base-frequency traces ride in a gzip sidecar written by
+  :mod:`repro.sim.serialize` (the archival trace format).
+* **Crash/corruption safety.** Writes go to a temporary file in the cache
+  directory and are published with an atomic ``os.replace``; reads treat
+  *any* malformed entry as a miss (recompute, never crash) and remove the
+  offender best-effort.
+
+The default location is ``~/.cache/repro``, overridable with the
+``REPRO_CACHE_DIR`` environment variable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+
+from repro.sim.serialize import FORMAT_VERSION, load_trace, save_trace
+
+if TYPE_CHECKING:  # runner imports this module; keep the cycle import-time free
+    from repro.experiments.runner import FixedRun, ManagedRun
+
+#: Bump when the simulator/cache semantics change in a way the key's
+#: config fields cannot capture (e.g. a timing-model fix): every existing
+#: entry becomes unreachable and is recomputed on demand.
+CACHE_SCHEMA_VERSION = 1
+
+_PathLike = Union[str, Path]
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+# ----------------------------------------------------------------------
+# Canonical hashing
+# ----------------------------------------------------------------------
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-stable structure.
+
+    Dataclasses become ``{field: value}`` dicts (recursively), enums their
+    values, tuples/sets ordered lists — so two objects that compare equal
+    canonicalize identically regardless of construction or field order.
+    Unsupported types raise ``TypeError``: a cache key must never silently
+    depend on ``repr`` noise such as memory addresses.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: canonical(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return canonical(obj.value)
+    if isinstance(obj, dict):
+        return {str(key): canonical(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonical(item) for item in obj)
+    if isinstance(obj, Path):
+        return str(obj)
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for hashing")
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s canonical JSON form.
+
+    Invariant under dict insertion order and dataclass field order;
+    sensitive to every value reachable from ``obj``.
+    """
+    payload = json.dumps(
+        canonical(obj), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fixed_key(fingerprint: Dict[str, Any], freq_ghz: float, quantum_ns: float) -> str:
+    """Content key of one fixed-frequency ground-truth run."""
+    return stable_hash(
+        {
+            "kind": "fixed",
+            "schema": CACHE_SCHEMA_VERSION,
+            "trace_format": FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "freq_ghz": round(freq_ghz, 6),
+            "quantum_ns": quantum_ns,
+        }
+    )
+
+
+def managed_key(
+    fingerprint: Dict[str, Any], manager_config: Any, quantum_ns: float
+) -> str:
+    """Content key of one energy-managed run (keyed by the full manager config)."""
+    return stable_hash(
+        {
+            "kind": "managed",
+            "schema": CACHE_SCHEMA_VERSION,
+            "trace_format": FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "manager": manager_config,
+            "quantum_ns": quantum_ns,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Per-process counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Entries found on disk but rejected (truncated, bit-flipped, wrong
+    #: schema...); each rejection is also a miss.
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultCache:
+    """Content-addressed on-disk store of experiment ground truths.
+
+    One directory per schema version; inside it, one JSON summary per
+    entry (name = ``<kind>-<benchmark>-<key prefix>``) plus an optional
+    gzip trace sidecar for base-frequency runs. Concurrent writers are
+    safe: both compute identical bytes for a key and publish atomically,
+    so the last rename wins with an identical result.
+    """
+
+    def __init__(self, root: Optional[_PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -- layout --------------------------------------------------------
+
+    @property
+    def _store(self) -> Path:
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    def _summary_path(self, kind: str, benchmark: str, key: str) -> Path:
+        return self._store / f"{kind}-{benchmark}-{key[:20]}.json"
+
+    def _trace_path(self, summary: Path) -> Path:
+        return summary.with_suffix(".trace.gz")
+
+    # -- atomic plumbing ----------------------------------------------
+
+    def _publish_text(self, path: Path, text: str) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            _unlink_quiet(Path(tmp))
+            raise
+
+    def _publish_trace(self, path: Path, trace) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".gz"
+        )
+        os.close(fd)
+        try:
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        except BaseException:
+            _unlink_quiet(Path(tmp))
+            raise
+
+    def _read_entry(self, path: Path, key: str) -> Optional[Dict]:
+        """Load and sanity-check a summary; any defect counts as corruption."""
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._reject(path)
+            return None
+        if not isinstance(entry, dict) or entry.get("key") != key:
+            self._reject(path)
+            return None
+        return entry
+
+    def _reject(self, summary: Path) -> None:
+        """Drop a corrupt entry (and its sidecar) so it is rebuilt cleanly."""
+        self.stats.errors += 1
+        _unlink_quiet(summary)
+        _unlink_quiet(self._trace_path(summary))
+
+    # -- fixed runs ----------------------------------------------------
+
+    def load_fixed(self, key: str, benchmark: str) -> Optional["FixedRun"]:
+        """The cached :class:`FixedRun` under ``key``, or ``None``."""
+        from repro.experiments.runner import FixedRun
+
+        path = self._summary_path("fixed", benchmark, key)
+        entry = self._read_entry(path, key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        try:
+            trace = None
+            if entry["has_trace"]:
+                trace = load_trace(self._trace_path(path))
+            run = FixedRun(
+                benchmark=str(entry["benchmark"]),
+                freq_ghz=float(entry["freq_ghz"]),
+                total_ns=entry["total_ns"],
+                gc_time_ns=entry["gc_time_ns"],
+                gc_cycles=int(entry["gc_cycles"]),
+                energy_j=entry["energy_j"],
+                trace=trace,
+            )
+        except Exception:
+            self._reject(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return run
+
+    def store_fixed(self, key: str, run: "FixedRun") -> None:
+        """Persist a fixed run (trace sidecar first, then the summary)."""
+        path = self._summary_path("fixed", run.benchmark, key)
+        if run.trace is not None:
+            self._publish_trace(self._trace_path(path), run.trace)
+        entry = {
+            "key": key,
+            "benchmark": run.benchmark,
+            "freq_ghz": run.freq_ghz,
+            "total_ns": run.total_ns,
+            "gc_time_ns": run.gc_time_ns,
+            "gc_cycles": run.gc_cycles,
+            "energy_j": run.energy_j,
+            "has_trace": run.trace is not None,
+        }
+        self._publish_text(path, json.dumps(entry, separators=(",", ":")))
+        self.stats.stores += 1
+
+    # -- managed runs --------------------------------------------------
+
+    def load_managed(self, key: str, benchmark: str) -> Optional["ManagedRun"]:
+        """The cached :class:`ManagedRun` under ``key``, or ``None``."""
+        from repro.energy.manager import ManagerDecision
+        from repro.experiments.runner import ManagedRun
+
+        path = self._summary_path("managed", benchmark, key)
+        entry = self._read_entry(path, key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        try:
+            run = ManagedRun(
+                benchmark=str(entry["benchmark"]),
+                threshold=float(entry["threshold"]),
+                total_ns=entry["total_ns"],
+                energy_j=entry["energy_j"],
+                decisions=[
+                    ManagerDecision(
+                        interval_index=int(index),
+                        base_freq_ghz=base,
+                        chosen_freq_ghz=chosen,
+                        predicted_slowdown=slowdown,
+                    )
+                    for index, base, chosen, slowdown in entry["decisions"]
+                ],
+            )
+        except Exception:
+            self._reject(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return run
+
+    def store_managed(self, key: str, run: "ManagedRun") -> None:
+        """Persist a managed run, decisions inline."""
+        path = self._summary_path("managed", run.benchmark, key)
+        entry = {
+            "key": key,
+            "benchmark": run.benchmark,
+            "threshold": run.threshold,
+            "total_ns": run.total_ns,
+            "energy_j": run.energy_j,
+            "decisions": [
+                [
+                    d.interval_index,
+                    d.base_freq_ghz,
+                    d.chosen_freq_ghz,
+                    d.predicted_slowdown,
+                ]
+                for d in run.decisions
+            ],
+        }
+        self._publish_text(path, json.dumps(entry, separators=(",", ":")))
+        self.stats.stores += 1
+
+    # -- maintenance ---------------------------------------------------
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Entry and byte counts on disk, across all schema versions."""
+        entries = traces = size = stale = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*"):
+                if not path.is_file():
+                    continue
+                size += path.stat().st_size
+                if path.name.startswith(".tmp-"):
+                    continue
+                current = path.parent == self._store
+                if path.suffix == ".json":
+                    entries += current
+                    stale += not current
+                elif path.name.endswith(".trace.gz"):
+                    traces += current
+        return {
+            "entries": entries,
+            "traces": traces,
+            "stale_entries": stale,
+            "size_bytes": size,
+        }
+
+    def clear(self) -> int:
+        """Remove every version directory under the root; return files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for child in sorted(self.root.iterdir()):
+                if child.is_dir() and child.name.startswith("v"):
+                    removed += sum(1 for p in child.rglob("*") if p.is_file())
+                    shutil.rmtree(child, ignore_errors=True)
+        return removed
+
+
+def _unlink_quiet(path: Path) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def describe(cache: ResultCache) -> str:
+    """Human-readable one-stop summary (CLI ``cache stats``)."""
+    disk = cache.disk_stats()
+    lines = [
+        f"cache root:    {cache.root}",
+        f"schema:        v{CACHE_SCHEMA_VERSION} (trace format {FORMAT_VERSION})",
+        f"entries:       {disk['entries']} ({disk['traces']} traces, "
+        f"{disk['stale_entries']} stale from other versions)",
+        f"size on disk:  {disk['size_bytes'] / 1e6:.1f} MB",
+    ]
+    session = cache.stats
+    if session.hits or session.misses or session.stores:
+        lines.append(
+            f"this session:  {session.hits} hits, {session.misses} misses, "
+            f"{session.stores} stores, {session.errors} corrupt"
+        )
+    return "\n".join(lines)

@@ -21,6 +21,15 @@ PAPER_DEPBURST = {2.0: 0.03, 3.0: 0.05, 4.0: 0.06}
 _BASE_GHZ = 1.0
 
 
+def work(config):
+    """Ground-truth grid Figure 1 needs (parallel prefetch hook)."""
+    from repro.experiments.parallel import fixed_items
+
+    return fixed_items(
+        config.benchmarks, sorted({_BASE_GHZ, *config.targets_up_ghz})
+    )
+
+
 def run(runner: ExperimentRunner) -> ExperimentResult:
     """Regenerate Figure 1's two error-vs-frequency series."""
     config = runner.config

@@ -36,6 +36,16 @@ class Fig3Data:
         return mean_abs([per_bench[b][target] for b in per_bench])
 
 
+def work(config):
+    """Ground-truth grid Figure 3 needs (parallel prefetch hook)."""
+    from repro.experiments.parallel import fixed_items
+
+    freqs = sorted(
+        {1.0, 4.0, *config.targets_up_ghz, *config.targets_down_ghz}
+    )
+    return fixed_items(config.benchmarks, freqs)
+
+
 def collect(runner: ExperimentRunner) -> Fig3Data:
     """Compute the full error grid (cached ground truths via the runner)."""
     config = runner.config

@@ -23,6 +23,13 @@ PAPER_MEANS = {
 }
 
 
+def work(config):
+    """Ground-truth grid Figure 4 needs (parallel prefetch hook)."""
+    from repro.experiments.parallel import fixed_items
+
+    return fixed_items(config.benchmarks, (1.0, 4.0))
+
+
 def run(runner: ExperimentRunner) -> ExperimentResult:
     """Regenerate Figure 4 (farthest target in each direction)."""
     config = runner.config

@@ -17,6 +17,15 @@ from repro.experiments.runner import ExperimentRunner
 PAPER_SAVINGS = {0.05: 0.13, 0.10: 0.19}
 
 
+def work(config):
+    """Ground-truth grid Figure 6 needs (parallel prefetch hook)."""
+    from repro.experiments.parallel import fixed_items, managed_items
+
+    return fixed_items(config.benchmarks, (4.0,)) + managed_items(
+        config.benchmarks, config.thresholds
+    )
+
+
 def run(runner: ExperimentRunner) -> List[ExperimentResult]:
     """Regenerate Figure 6 (one table per threshold)."""
     config = runner.config

@@ -16,6 +16,16 @@ from repro.experiments.report import ExperimentResult, mean, pct
 from repro.experiments.runner import ExperimentRunner
 
 
+def work(config):
+    """Ground-truth grid Figure 7 needs (parallel prefetch hook)."""
+    from repro.experiments.parallel import fixed_items, managed_items
+
+    freqs = sorted({4.0, *config.static_freqs_ghz})
+    return fixed_items(config.benchmarks, freqs) + managed_items(
+        config.benchmarks, config.thresholds
+    )
+
+
 def run(runner: ExperimentRunner) -> List[ExperimentResult]:
     """Regenerate Figure 7 (one table per threshold)."""
     config = runner.config

@@ -1,0 +1,205 @@
+"""Parallel fan-out of ground-truth simulations over worker processes.
+
+The experiment suite's cost is a grid of independent simulations:
+(benchmark × frequency) fixed runs and (benchmark × threshold) managed
+runs. Each cell is deterministic — the simulator draws from RNG streams
+keyed by (seed, purpose, index), never from shared mutable state — so
+the grid can be computed in any order, in any process, with bit-identical
+results. This module exploits that:
+
+* a :class:`WorkItem` names one cell; drivers declare the cells they
+  need via a module-level ``work(config)`` hook (see ``fig*.py``);
+* :func:`execute` fans the deduplicated items out over a
+  ``concurrent.futures.ProcessPoolExecutor``. Workers share one
+  :class:`~repro.experiments.cache.ResultCache` with the parent: each
+  worker persists its results under content-addressed keys and the
+  parent rehydrates them from disk, so no large trace ever crosses the
+  pipe;
+* ``--jobs N`` on the CLI (or ``REPRO_JOBS``) picks the width; ``N=1``
+  is a plain serial loop with no pool and no extra processes.
+
+Failures are contained: a work item that dies in a worker is recomputed
+serially in the parent, so parallelism is purely an optimization.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+
+
+@dataclass(frozen=True, order=True)
+class WorkItem:
+    """One independent ground-truth simulation of the experiment grid."""
+
+    #: ``"fixed"`` (value = frequency in GHz) or ``"managed"`` (value =
+    #: tolerable-slowdown threshold).
+    kind: str
+    benchmark: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "managed"):
+            raise ConfigError(f"unknown work kind {self.kind!r}")
+        object.__setattr__(self, "value", round(self.value, 6))
+
+
+def fixed_items(
+    benchmarks: Iterable[str], freqs_ghz: Iterable[float]
+) -> Tuple[WorkItem, ...]:
+    """Fixed-run items for the (benchmark × frequency) grid."""
+    return tuple(
+        WorkItem("fixed", bench, freq)
+        for bench in benchmarks
+        for freq in freqs_ghz
+    )
+
+
+def managed_items(
+    benchmarks: Iterable[str], thresholds: Iterable[float]
+) -> Tuple[WorkItem, ...]:
+    """Managed-run items for the (benchmark × threshold) grid."""
+    return tuple(
+        WorkItem("managed", bench, threshold)
+        for bench in benchmarks
+        for threshold in thresholds
+    )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1")
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ConfigError(f"REPRO_JOBS must be an integer, got {raw!r}") from exc
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass
+class ExecutionReport:
+    """What :func:`execute` did with the requested grid."""
+
+    items: int = 0
+    jobs: int = 1
+    #: Items whose worker raised; they were recomputed in the parent.
+    recovered: List[Tuple[WorkItem, str]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.recovered is None:
+            self.recovered = []
+
+
+# One runner per worker process, built by the pool initializer so every
+# batch handled by that worker shares bundles and the disk cache.
+_WORKER_RUNNER: Optional[ExperimentRunner] = None
+
+
+def _init_worker(config: ExperimentConfig, cache_root: str) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = ExperimentRunner(config, cache=ResultCache(cache_root))
+
+
+def _run_batch(
+    batch: Sequence[WorkItem],
+) -> List[Tuple[WorkItem, Optional[str]]]:
+    """Compute one batch in a worker; results travel via the shared cache."""
+    assert _WORKER_RUNNER is not None, "worker used before initialization"
+    results: List[Tuple[WorkItem, Optional[str]]] = []
+    for item in batch:
+        try:
+            _apply(_WORKER_RUNNER, item)
+            results.append((item, None))
+        except Exception as exc:  # contained: the parent recomputes
+            results.append((item, f"{type(exc).__name__}: {exc}"))
+    return results
+
+
+def _partition(grid: Sequence[WorkItem], jobs: int) -> List[List[WorkItem]]:
+    """Split the grid into batches that preserve per-benchmark reuse.
+
+    All of a benchmark's runs share its bundle — the built program and,
+    critically, the GC model's per-cycle cache, which costs as much to
+    rebuild as a simulation. Scattering a benchmark's frequencies across
+    workers rebuilds that state once per worker and can make the pool
+    *slower* than the serial loop, so the unit of distribution is a
+    per-benchmark batch; only when there are fewer benchmarks than
+    workers are the largest batches split (halving latency at the price
+    of one duplicated bundle build).
+    """
+    groups: dict = {}
+    for item in grid:
+        groups.setdefault(item.benchmark, []).append(item)
+    batches = list(groups.values())
+    while len(batches) < min(jobs, len(grid)):
+        batches.sort(key=lambda b: (-len(b), b[0]))
+        largest = batches[0]
+        if len(largest) <= 1:
+            break
+        mid = (len(largest) + 1) // 2
+        batches[:1] = [largest[:mid], largest[mid:]]
+    return sorted(batches)  # deterministic submission order
+
+
+def _apply(runner: ExperimentRunner, item: WorkItem):
+    if item.kind == "fixed":
+        return runner.fixed_run(item.benchmark, item.value)
+    return runner.managed_run(item.benchmark, item.value)
+
+
+def execute(
+    runner: ExperimentRunner,
+    items: Sequence[WorkItem],
+    jobs: Optional[int] = None,
+) -> ExecutionReport:
+    """Materialize every item in ``runner``, fanning out over ``jobs`` processes.
+
+    After this returns, each item is available in ``runner``'s in-memory
+    maps (and on disk when caching): drivers hit warm lookups only. With
+    ``jobs=1`` — or a single item — everything runs serially in-process.
+
+    A runner without a persistent cache gets an ephemeral one for the
+    life of the process (under the system temp dir), since workers and
+    parent need a common store to exchange results through.
+    """
+    grid = sorted(set(items))
+    jobs = resolve_jobs(jobs)
+    report = ExecutionReport(items=len(grid), jobs=jobs)
+    if jobs == 1 or len(grid) <= 1:
+        report.jobs = 1
+        for item in grid:
+            _apply(runner, item)
+        return report
+
+    if runner.cache is None:
+        runner.cache = ResultCache(
+            tempfile.mkdtemp(prefix="repro-ephemeral-cache-")
+        )
+    batches = _partition(grid, jobs)
+    failures = {}
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(batches)),
+        initializer=_init_worker,
+        initargs=(runner.config, str(runner.cache.root)),
+    ) as pool:
+        for results in pool.map(_run_batch, batches, chunksize=1):
+            for item, error in results:
+                if error is not None:
+                    failures[item] = error
+    for item in grid:
+        error = failures.get(item)
+        if error is not None:
+            report.recovered.append((item, error))
+        _apply(runner, item)  # cache hit for worker-computed items
+    return report

@@ -3,12 +3,19 @@
 Every experiment needs some mix of: fixed-frequency ground-truth runs
 (execution time, GC time, energy), the base-frequency *traces* the
 predictors consume, and managed (governor-controlled) runs. Simulations
-dominate the suite's cost, so the runner memoizes them:
+dominate the suite's cost, so the runner memoizes them at two levels:
 
-* fixed-run summaries (time/energy) are cached per (benchmark, frequency);
-* traces are kept only for the prediction base frequencies (1 and 4 GHz);
-  other runs are summarized and dropped to bound memory;
-* managed runs are cached per (benchmark, threshold).
+* in-process — fixed-run summaries per (benchmark, frequency), managed
+  runs per (benchmark, threshold); traces are kept only for the
+  prediction base frequencies (1 and 4 GHz), other runs are summarized
+  and dropped to bound memory;
+* on disk, when constructed with a
+  :class:`~repro.experiments.cache.ResultCache` — results are stored
+  under content-addressed keys so later processes (CLI reruns, parallel
+  workers, tests) skip the simulation entirely.
+
+``runner.simulations`` counts the simulations this process actually ran,
+which is how tests assert that a warm cache performs zero new work.
 """
 
 from __future__ import annotations
@@ -19,10 +26,16 @@ from typing import Dict, List, Optional, Tuple
 from repro.energy.account import compute_energy
 from repro.energy.manager import EnergyManager, ManagerConfig, ManagerDecision
 from repro.energy.power import PowerModel
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import ResultCache
 from repro.experiments.setup import ExperimentConfig, default_config
 from repro.sim.run import simulate, simulate_managed
 from repro.sim.trace import SimulationTrace
-from repro.workloads.registry import BenchmarkBundle, get_benchmark
+from repro.workloads.registry import (
+    BenchmarkBundle,
+    bundle_fingerprint,
+    get_benchmark,
+)
 
 #: Frequencies whose traces are retained for offline prediction.
 _BASE_FREQS = (1.0, 4.0)
@@ -61,14 +74,28 @@ class ManagedRun:
 
 
 class ExperimentRunner:
-    """Simulation cache + convenience accessors for the experiment suite."""
+    """Simulation cache + convenience accessors for the experiment suite.
 
-    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+    ``cache`` is optional: without one the runner memoizes in-process
+    only (the hermetic default for library use and unit tests); with one,
+    every ground truth is first looked up on disk and persisted after
+    computing, so separate processes share a single store.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ExperimentConfig] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         self.config = config or default_config()
+        self.cache = cache
+        #: Simulations actually executed by this process (cache misses).
+        self.simulations = 0
         self._bundles: Dict[str, BenchmarkBundle] = {}
         self._fixed: Dict[Tuple[str, float], FixedRun] = {}
         self._managed: Dict[Tuple[str, float], ManagedRun] = {}
         self._power_models: Dict[str, PowerModel] = {}
+        self._fingerprints: Dict[str, dict] = {}
 
     def bundle(self, benchmark: str) -> BenchmarkBundle:
         """The (cached) benchmark bundle at the configured scale."""
@@ -86,6 +113,14 @@ class ExperimentRunner:
             self._power_models[benchmark] = model
         return model
 
+    def fingerprint(self, benchmark: str) -> dict:
+        """Cache-key identity of a benchmark at the configured scale."""
+        fp = self._fingerprints.get(benchmark)
+        if fp is None:
+            fp = bundle_fingerprint(benchmark, scale=self.config.scale)
+            self._fingerprints[benchmark] = fp
+        return fp
+
     # ------------------------------------------------------------------
     # Ground-truth runs
     # ------------------------------------------------------------------
@@ -96,6 +131,15 @@ class ExperimentRunner:
         cached = self._fixed.get(key)
         if cached is not None:
             return cached
+        disk_key = None
+        if self.cache is not None:
+            disk_key = cache_mod.fixed_key(
+                self.fingerprint(benchmark), freq_ghz, self.config.quantum_ns
+            )
+            run = self.cache.load_fixed(disk_key, benchmark)
+            if run is not None:
+                self._fixed[key] = run
+                return run
         bundle = self.bundle(benchmark)
         result = simulate(
             bundle.program,
@@ -105,6 +149,7 @@ class ExperimentRunner:
             gc_model=bundle.gc_model,
             quantum_ns=self.config.quantum_ns,
         )
+        self.simulations += 1
         energy = compute_energy(
             result.trace, bundle.spec, self.power_model(benchmark)
         )
@@ -118,6 +163,8 @@ class ExperimentRunner:
             energy_j=energy.total_j,
             trace=result.trace if keep_trace else None,
         )
+        if self.cache is not None and disk_key is not None:
+            self.cache.store_fixed(disk_key, run)
         self._fixed[key] = run
         return run
 
@@ -141,10 +188,18 @@ class ExperimentRunner:
         cached = self._managed.get(key)
         if cached is not None:
             return cached
+        manager_config = ManagerConfig(tolerable_slowdown=threshold)
+        disk_key = None
+        if self.cache is not None:
+            disk_key = cache_mod.managed_key(
+                self.fingerprint(benchmark), manager_config, self.config.quantum_ns
+            )
+            run = self.cache.load_managed(disk_key, benchmark)
+            if run is not None:
+                self._managed[key] = run
+                return run
         bundle = self.bundle(benchmark)
-        manager = EnergyManager(
-            bundle.spec, ManagerConfig(tolerable_slowdown=threshold)
-        )
+        manager = EnergyManager(bundle.spec, manager_config)
         result = simulate_managed(
             bundle.program,
             manager,
@@ -153,6 +208,7 @@ class ExperimentRunner:
             gc_model=bundle.gc_model,
             quantum_ns=self.config.quantum_ns,
         )
+        self.simulations += 1
         energy = compute_energy(
             result.trace, bundle.spec, self.power_model(benchmark)
         )
@@ -163,6 +219,8 @@ class ExperimentRunner:
             energy_j=energy.total_j,
             decisions=list(manager.decisions),
         )
+        if self.cache is not None and disk_key is not None:
+            self.cache.store_managed(disk_key, run)
         self._managed[key] = run
         return run
 
@@ -170,9 +228,16 @@ class ExperimentRunner:
 _RUNNER: Optional[ExperimentRunner] = None
 
 
-def get_runner(config: Optional[ExperimentConfig] = None) -> ExperimentRunner:
+def get_runner(
+    config: Optional[ExperimentConfig] = None,
+    cache: Optional[ResultCache] = None,
+) -> ExperimentRunner:
     """Process-wide runner so tests/benchmarks share ground-truth runs."""
     global _RUNNER
-    if _RUNNER is None or (config is not None and config != _RUNNER.config):
-        _RUNNER = ExperimentRunner(config)
+    if (
+        _RUNNER is None
+        or (config is not None and config != _RUNNER.config)
+        or (cache is not None and cache is not _RUNNER.cache)
+    ):
+        _RUNNER = ExperimentRunner(config, cache=cache)
     return _RUNNER

@@ -18,6 +18,11 @@ from repro.experiments.report import ExperimentResult, pct_abs
 from repro.experiments.runner import ExperimentRunner
 
 
+def work(config):
+    """Same ground-truth grid as Figure 3 (whose error grid this reuses)."""
+    return fig3.work(config)
+
+
 def run(runner: ExperimentRunner) -> ExperimentResult:
     """Render the error-vs-target surface for all models."""
     config = runner.config

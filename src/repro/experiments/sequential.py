@@ -48,6 +48,11 @@ def collect(units: int = 40) -> Dict[str, Dict[str, float]]:
     return errors
 
 
+def work(config):
+    """Microbenchmarks run in-process and uncached: nothing to prefetch."""
+    return ()
+
+
 def run(runner=None, units: int = 40) -> ExperimentResult:
     """Render the sequential-model validation table.
 

@@ -8,6 +8,13 @@ from repro.experiments.runner import ExperimentRunner
 from repro.workloads.dacapo import TABLE1_EXPECTED
 
 
+def work(config):
+    """Ground-truth grid Table I needs (parallel prefetch hook)."""
+    from repro.experiments.parallel import fixed_items
+
+    return fixed_items(config.benchmarks, (1.0,))
+
+
 def run(runner: ExperimentRunner) -> ExperimentResult:
     """Regenerate Table I from 1 GHz ground-truth runs."""
     config = runner.config

@@ -7,6 +7,11 @@ from repro.energy.vftable import VfTable
 from repro.experiments.report import ExperimentResult
 
 
+def work(config):
+    """Table II is static configuration: nothing to simulate."""
+    return ()
+
+
 def run(runner=None) -> ExperimentResult:
     """Regenerate Table II from the machine specification.
 

@@ -73,10 +73,28 @@ def get_benchmark(name: str, scale: float = 1.0) -> BenchmarkBundle:
     )
 
 
+def bundle_fingerprint(name: str, scale: float = 1.0) -> dict:
+    """Everything that determines :func:`get_benchmark`'s simulation inputs.
+
+    Used as the benchmark half of persistent cache keys
+    (:mod:`repro.experiments.cache`). Programs are pure functions of the
+    workload config, so hashing the config — not the (large) generated
+    program — identifies the workload; the JVM config and machine spec
+    must mirror exactly what :func:`get_benchmark` hands the simulator.
+    """
+    return {
+        "benchmark": name,
+        "workload": dacapo_config(name, scale),
+        "jvm": dacapo_jvm_config(name),
+        "spec": haswell_i7_4770k(),
+    }
+
+
 __all__ = [
     "BenchmarkBundle",
     "TABLE1_EXPECTED",
     "benchmark_names",
+    "bundle_fingerprint",
     "dacapo_config",
     "get_benchmark",
 ]

@@ -2,8 +2,15 @@
 
 import os
 import sys
+import tempfile
 
 # Tests always run the miniature workloads; never inherit a user's scale.
 os.environ.setdefault("REPRO_SCALE", "0.05")
+
+# Keep the persistent result cache out of the user's ~/.cache during tests:
+# anything CLI-level that caches goes to a throwaway directory.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+)
 
 sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,146 @@
+"""Persistent result cache: warm-run behaviour and fault injection.
+
+The contract under test: a second runner over the same store performs
+zero new simulations; any on-disk damage (truncation, bit flips, missing
+sidecars, schema bumps) silently degrades to a recompute — the cache may
+lose work, it must never corrupt results or crash the suite.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import ResultCache
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    scale=0.02,
+    benchmarks=("pmd_scale",),
+    thresholds=(0.10,),
+    quantum_ns=2.0e5,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _populate(store) -> ExperimentRunner:
+    runner = ExperimentRunner(CONFIG, cache=store)
+    runner.fixed_run("pmd_scale", 1.0)   # base freq: trace sidecar on disk
+    runner.fixed_run("pmd_scale", 2.0)   # summary only
+    runner.managed_run("pmd_scale", 0.10)
+    return runner
+
+
+def _rerun(store) -> ExperimentRunner:
+    runner = ExperimentRunner(CONFIG, cache=store)
+    runner.fixed_run("pmd_scale", 1.0)
+    runner.fixed_run("pmd_scale", 2.0)
+    runner.managed_run("pmd_scale", 0.10)
+    return runner
+
+
+def test_warm_cache_performs_zero_simulations(store):
+    cold = _populate(store)
+    assert cold.simulations == 3
+    assert store.stats.stores == 3
+
+    warm_store = ResultCache(store.root)  # fresh instance, same directory
+    warm = _rerun(warm_store)
+    assert warm.simulations == 0
+    assert warm_store.stats.hits == 3
+    assert warm_store.stats.errors == 0
+    # And the rehydrated results match the originals exactly.
+    assert warm.fixed_run("pmd_scale", 1.0) == cold.fixed_run("pmd_scale", 1.0)
+    assert warm.managed_run("pmd_scale", 0.10) == cold.managed_run(
+        "pmd_scale", 0.10
+    )
+
+
+def _summaries(store, kind):
+    return sorted(store.root.rglob(f"{kind}-*.json"))
+
+
+def test_truncated_summary_recomputes(store):
+    _populate(store)
+    victim = _summaries(store, "fixed")[0]
+    victim.write_bytes(victim.read_bytes()[: victim.stat().st_size // 2])
+
+    warm_store = ResultCache(store.root)
+    warm = _rerun(warm_store)
+    assert warm.simulations == 1  # only the damaged entry
+    assert warm_store.stats.errors == 1
+    assert not victim.exists() or json.loads(victim.read_text())  # rebuilt
+
+
+def test_bitflipped_trace_sidecar_recomputes(store):
+    _populate(store)
+    (sidecar,) = sorted(store.root.rglob("*.trace.gz"))
+    blob = bytearray(sidecar.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    sidecar.write_bytes(bytes(blob))
+
+    warm_store = ResultCache(store.root)
+    warm = _rerun(warm_store)
+    assert warm.simulations == 1
+    assert warm_store.stats.errors == 1
+    # The rebuilt sidecar decompresses cleanly again.
+    rebuilt = sorted(store.root.rglob("*.trace.gz"))
+    assert rebuilt and gzip.decompress(rebuilt[0].read_bytes())
+
+
+def test_missing_trace_sidecar_recomputes(store):
+    _populate(store)
+    (sidecar,) = sorted(store.root.rglob("*.trace.gz"))
+    sidecar.unlink()
+
+    warm = _rerun(ResultCache(store.root))
+    assert warm.simulations == 1
+    assert warm.fixed_run("pmd_scale", 1.0).trace is not None
+
+
+def test_garbage_json_and_wrong_key_recompute(store):
+    _populate(store)
+    fixed = _summaries(store, "fixed")
+    fixed[0].write_text("not json at all {{{")
+    entry = json.loads(fixed[1].read_text())
+    entry["key"] = "0" * 64  # plausible JSON under the wrong address
+    fixed[1].write_text(json.dumps(entry))
+
+    warm_store = ResultCache(store.root)
+    warm = _rerun(warm_store)
+    assert warm.simulations == 2
+    assert warm_store.stats.errors == 2
+
+
+def test_schema_version_bump_invalidates(store, monkeypatch):
+    _populate(store)
+    monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 999)
+    warm_store = ResultCache(store.root)
+    warm = _rerun(warm_store)
+    assert warm.simulations == 3  # nothing from v1 is reachable
+    assert warm_store.stats.errors == 0  # stale, not corrupt
+    # Old entries survive on disk (reported as stale) until `clear`.
+    assert warm_store.disk_stats()["stale_entries"] == 3
+    assert warm_store.clear() > 0
+    assert warm_store.disk_stats()["entries"] == 0
+
+
+def test_cli_cache_stats_and_clear(store, capsys):
+    from repro.experiments.cli import cache_main
+
+    _populate(store)
+    assert cache_main(["stats", "--cache-dir", str(store.root)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:       3" in out
+    assert str(store.root) in out
+
+    assert cache_main(["clear", "--cache-dir", str(store.root)]) == 0
+    assert "removed 4 cached file(s)" in capsys.readouterr().out
+    warm = _rerun(ResultCache(store.root))
+    assert warm.simulations == 3

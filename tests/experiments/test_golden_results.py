@@ -1,0 +1,92 @@
+"""Golden regression test: headline science numbers must not drift.
+
+Pins, for a fixed miniature configuration, every benchmark's 4 GHz
+ground-truth execution time and energy plus the DEP+BURST mean-error
+aggregate (1 GHz base → 4 GHz target, the paper's headline direction).
+Cache, parallelism or refactoring work that changes any of these numbers
+is changing the science output, not the plumbing, and must be a
+deliberate decision: regenerate with
+
+    PYTHONPATH=src python -m tests.experiments.test_golden_results
+
+and commit the diff alongside an explanation.
+"""
+
+import json
+import math
+from pathlib import Path
+
+from repro.core.evaluate import prediction_error
+from repro.core.predictors import make_predictor
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+from repro.workloads.dacapo import dacapo_names
+
+GOLDEN_PATH = Path(__file__).with_name("golden_results.json")
+
+#: Relative tolerance: loose enough for float-library noise across
+#: platforms, tight enough that any modelling change trips it.
+REL_TOL = 1e-9
+
+CONFIG = ExperimentConfig(
+    scale=0.02,
+    benchmarks=dacapo_names(),
+    quantum_ns=2.0e5,
+)
+
+
+def compute_current() -> dict:
+    """The numbers the current code produces for the golden configuration."""
+    runner = ExperimentRunner(CONFIG)
+    predictor = make_predictor("DEP+BURST")
+    benchmarks = {}
+    errors = []
+    for name in CONFIG.benchmarks:
+        actual = runner.fixed_run(name, 4.0)
+        base = runner.base_trace(name, 1.0)
+        error = prediction_error(
+            predictor.predict_total_ns(base, 4.0), actual.total_ns
+        )
+        errors.append(abs(error))
+        benchmarks[name] = {
+            "total_ns_4ghz": actual.total_ns,
+            "energy_j_4ghz": actual.energy_j,
+            "depburst_error_1to4": error,
+        }
+    return {
+        "config": {"scale": CONFIG.scale, "quantum_ns": CONFIG.quantum_ns},
+        "benchmarks": benchmarks,
+        "depburst_mean_abs_error_1to4": sum(errors) / len(errors),
+    }
+
+
+def _assert_close(label: str, actual: float, expected: float) -> None:
+    assert math.isclose(actual, expected, rel_tol=REL_TOL, abs_tol=0.0), (
+        f"{label} drifted: expected {expected!r}, got {actual!r} "
+        f"(rel error {abs(actual - expected) / max(abs(expected), 1e-300):.3e}). "
+        f"If intentional, regenerate {GOLDEN_PATH.name}."
+    )
+
+
+def test_headline_numbers_match_golden_file():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    current = compute_current()
+    assert current["config"] == golden["config"]
+    assert sorted(current["benchmarks"]) == sorted(golden["benchmarks"])
+    for name, expected in golden["benchmarks"].items():
+        got = current["benchmarks"][name]
+        for field in ("total_ns_4ghz", "energy_j_4ghz", "depburst_error_1to4"):
+            _assert_close(f"{name}.{field}", got[field], expected[field])
+    _assert_close(
+        "depburst_mean_abs_error_1to4",
+        current["depburst_mean_abs_error_1to4"],
+        golden["depburst_mean_abs_error_1to4"],
+    )
+
+
+if __name__ == "__main__":  # regeneration entry point (see module docstring)
+    GOLDEN_PATH.write_text(
+        json.dumps(compute_current(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {GOLDEN_PATH}")
