@@ -22,7 +22,7 @@ list of objects — the timing hot path is then two vectorized expressions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -139,3 +139,94 @@ class StoreBurstSegment:
 
 
 Segment = Union[ComputeSegment, MemorySegment, StoreBurstSegment]
+
+
+class SegmentBatch:
+    """Columnar view of a run of consecutive segments, for vectorized timing.
+
+    The discrete-event core merges runs of back-to-back segments (long
+    allocation zero-init bursts, GC trace/copy chunk sequences) into one
+    scheduled "plan"; this class regroups the plan's segments by kind into
+    flat NumPy columns so :meth:`~repro.arch.core.CoreModel.time_batch` can
+    time a whole run with a handful of array expressions instead of one
+    Python dispatch per segment.
+
+    Cluster latencies of the memory segments are concatenated into a single
+    array with CSR-style ``m_cluster_offsets``; per-segment reductions are
+    taken over contiguous slices so they accumulate in exactly the same
+    order (NumPy pairwise summation over the same values) as the scalar
+    ``time_memory`` path — batching must not perturb a single bit.
+    """
+
+    __slots__ = (
+        "n",
+        "c_pos", "c_insns", "c_insns_f", "c_cpi",
+        "m_pos", "m_insns", "m_insns_f", "m_cpi", "m_total_chain",
+        "m_leading", "m_clusters", "m_cluster_offsets", "m_cluster_counts",
+        "s_pos", "s_stores", "s_stores_f", "s_drain",
+    )
+
+    def __init__(self, segments: Sequence[Segment]) -> None:
+        self.n = len(segments)
+        c_pos: List[int] = []
+        c_insns: List[int] = []
+        c_cpi: List[float] = []
+        m_pos: List[int] = []
+        m_insns: List[int] = []
+        m_cpi: List[float] = []
+        m_total: List[float] = []
+        m_leading: List[float] = []
+        m_chains: List[np.ndarray] = []
+        s_pos: List[int] = []
+        s_stores: List[int] = []
+        s_drain: List[float] = []
+        for pos, segment in enumerate(segments):
+            kind = type(segment)
+            if kind is ComputeSegment:
+                c_pos.append(pos)
+                c_insns.append(segment.insns)
+                c_cpi.append(segment.cpi)
+            elif kind is StoreBurstSegment:
+                s_pos.append(pos)
+                s_stores.append(segment.n_stores)
+                s_drain.append(segment.drain_ns_per_store)
+            elif kind is MemorySegment:
+                m_pos.append(pos)
+                m_insns.append(segment.insns)
+                m_cpi.append(segment.cpi)
+                m_total.append(segment.total_chain_ns)
+                m_leading.append(segment.leading_total_ns)
+                m_chains.append(segment.chain_ns)
+            else:
+                raise ConfigError(f"unknown segment type: {segment!r}")
+        self.c_pos = c_pos
+        self.c_insns = c_insns
+        self.c_insns_f = np.array(c_insns, dtype=np.float64) if c_pos else None
+        self.c_cpi = np.array(c_cpi, dtype=np.float64) if c_pos else None
+        self.m_pos = m_pos
+        self.m_insns = m_insns
+        if m_pos:
+            self.m_insns_f = np.array(m_insns, dtype=np.float64)
+            self.m_cpi = np.array(m_cpi, dtype=np.float64)
+            self.m_total_chain = np.array(m_total, dtype=np.float64)
+            self.m_leading = np.array(m_leading, dtype=np.float64)
+            counts = np.array([c.size for c in m_chains], dtype=np.intp)
+            self.m_cluster_counts = counts
+            offsets = np.zeros(len(m_chains) + 1, dtype=np.intp)
+            np.cumsum(counts, out=offsets[1:])
+            self.m_cluster_offsets = offsets
+            self.m_clusters = (
+                np.concatenate(m_chains) if int(offsets[-1]) else _EMPTY_CHAINS
+            )
+        else:
+            self.m_insns_f = None
+            self.m_cpi = None
+            self.m_total_chain = None
+            self.m_leading = None
+            self.m_clusters = None
+            self.m_cluster_offsets = None
+            self.m_cluster_counts = None
+        self.s_pos = s_pos
+        self.s_stores = s_stores
+        self.s_stores_f = np.array(s_stores, dtype=np.float64) if s_pos else None
+        self.s_drain = np.array(s_drain, dtype=np.float64) if s_pos else None

@@ -1,0 +1,54 @@
+"""Opt-in cProfile wrapping for the command-line tools.
+
+Both CLIs accept ``--profile [PATH]`` and honour the ``REPRO_PROFILE``
+environment variable (``1`` enables with the tool's default dump path; any
+other non-empty value is used as the path). The profile is written as a
+binary ``.pstats`` dump, readable with ``python -m pstats`` or snakeviz.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+_UNSET = object()
+
+
+def resolve_profile_path(
+    cli_value: object, default_path: str
+) -> Optional[str]:
+    """The ``.pstats`` path to write, or None when profiling is off.
+
+    ``cli_value`` is the ``--profile`` argument: absent (``None`` sentinel
+    handled by the caller passing :data:`UNSET`), given bare, or given with
+    an explicit path. The environment variable is the fallback when the
+    flag is absent.
+    """
+    if cli_value is not _UNSET:
+        return default_path if cli_value is None else str(cli_value)
+    env = os.environ.get("REPRO_PROFILE", "")
+    if not env or env == "0":
+        return None
+    return default_path if env in ("1", "true", "yes") else env
+
+
+#: Sentinel for "--profile not given on the command line".
+UNSET = _UNSET
+
+
+def run_maybe_profiled(
+    func: Callable[[], T], path: Optional[str]
+) -> T:
+    """Run ``func``, dumping a cProfile ``.pstats`` to ``path`` if set."""
+    if path is None:
+        return func()
+    import cProfile
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(func)
+    finally:
+        profiler.dump_stats(path)
+        print(f"profile written to {path} (inspect with python -m pstats)")

@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import TraceError
 from repro.arch.counters import CounterSet
-from repro.sim.trace import EventKind, TraceEvent
+from repro.sim.trace import EventKind, SnapshotView, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -59,16 +59,29 @@ def extract_epochs(events: Sequence[TraceEvent]) -> List[Epoch]:
     epochs: List[Epoch] = []
     open_time: Optional[float] = None
     open_running: Tuple[int, ...] = ()
-    open_snapshots: Dict[int, CounterSet] = {}
+    open_snapshots: Mapping[int, CounterSet] = {}
     gc_depth = 0
     for event in events:
         if not event.kind.is_epoch_boundary:
             continue
         if open_time is not None and event.time_ns > open_time + 1e-9:
             deltas: Dict[int, CounterSet] = {}
+            end_snapshots = event.snapshots
+            # Columnar traces subtract counter rows directly, skipping the
+            # CounterSet materialization of both snapshots.
+            columnar = (
+                type(end_snapshots) is SnapshotView
+                and type(open_snapshots) is SnapshotView
+            )
             for tid in open_running:
+                if columnar:
+                    try:
+                        deltas[tid] = end_snapshots.delta(tid, open_snapshots)
+                        continue
+                    except KeyError:
+                        pass  # fall through to the error reporting below
                 start = open_snapshots.get(tid)
-                end = event.snapshots.get(tid)
+                end = end_snapshots.get(tid)
                 if start is None:
                     raise TraceError(
                         f"thread {tid} ran during epoch at {open_time} "
@@ -101,7 +114,10 @@ def extract_epochs(events: Sequence[TraceEvent]) -> List[Epoch]:
             gc_depth = max(0, gc_depth - 1)
         open_time = event.time_ns
         open_running = event.running_after
-        open_snapshots = dict(event.snapshots)
+        snapshots = event.snapshots
+        open_snapshots = (
+            snapshots if type(snapshots) is SnapshotView else dict(snapshots)
+        )
     return epochs
 
 

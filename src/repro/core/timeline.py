@@ -7,16 +7,25 @@ time-ordered snapshot list and answers point queries with the most recent
 snapshot at or before the queried time — exact whenever the thread was
 asleep at that instant (its counters cannot have advanced), and accurate to
 a partial segment otherwise.
+
+Columnar traces (built by :class:`~repro.sim.trace.TraceBuilder`) get a
+lazy fast path: the constructor indexes counter *rows* per thread straight
+from the backing arrays and materializes a :class:`CounterSet` only for the
+snapshots a query actually touches.
 """
 
 from __future__ import annotations
 
 import bisect
+from array import array
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import TraceError
 from repro.arch.counters import CounterSet
-from repro.sim.trace import EventKind, SimulationTrace
+from repro.sim.trace import EventKind, KIND_ORDER, SimulationTrace, TraceColumns
+
+_SPAWN_CODE = KIND_ORDER.index(EventKind.SPAWN)
+_EXIT_CODE = KIND_ORDER.index(EventKind.EXIT)
 
 
 class CounterTimeline:
@@ -24,9 +33,20 @@ class CounterTimeline:
 
     def __init__(self, trace: SimulationTrace) -> None:
         self._times: Dict[int, List[float]] = {}
-        self._snaps: Dict[int, List[CounterSet]] = {}
+        self._snaps: Dict[int, List[Optional[CounterSet]]] = {}
+        self._rows: Dict[int, array] = {}
+        self._cols: Optional[TraceColumns] = None
         self._spawn: Dict[int, float] = {}
         self._exit: Dict[int, float] = {}
+        cols = trace.columns
+        if cols is not None and len(trace.events) == cols.n_events:
+            self._index_columns(cols)
+        else:
+            self._index_events(trace)
+        self.total_ns = trace.total_ns
+
+    def _index_events(self, trace: SimulationTrace) -> None:
+        """Eager construction from the event objects (hand-built traces)."""
         for event in trace.events:
             if event.kind is EventKind.SPAWN:
                 self._spawn.setdefault(event.tid, event.time_ns)
@@ -36,7 +56,44 @@ class CounterTimeline:
             for tid, counters in event.snapshots.items():
                 self._times.setdefault(tid, []).append(event.time_ns)
                 self._snaps.setdefault(tid, []).append(counters)
-        self.total_ns = trace.total_ns
+
+    def _index_columns(self, cols: TraceColumns) -> None:
+        """Row-index construction from columnar storage; snapshots stay
+        unmaterialized until a query touches them."""
+        self._cols = cols
+        time_ns = cols.time_ns
+        kind = cols.kind
+        ev_tid = cols.tid
+        snap_lo = cols.snap_lo
+        snap_tid = cols.snap_tid
+        times = self._times
+        rows = self._rows
+        for i in range(cols.n_events):
+            t = time_ns[i]
+            code = kind[i]
+            if code == _SPAWN_CODE:
+                self._spawn.setdefault(ev_tid[i], t)
+            elif code == _EXIT_CODE:
+                self._exit.setdefault(ev_tid[i], t)
+            for row in range(snap_lo[i], snap_lo[i + 1]):
+                tid = snap_tid[row]
+                tid_times = times.get(tid)
+                if tid_times is None:
+                    tid_times = times[tid] = []
+                    rows[tid] = array("q")
+                tid_times.append(t)
+                rows[tid].append(row)
+        self._snaps = {tid: [None] * len(ts) for tid, ts in times.items()}
+
+    def _snapshot(self, tid: int, idx: int) -> CounterSet:
+        """Snapshot ``idx`` of thread ``tid``, materializing it on demand."""
+        snaps = self._snaps[tid]
+        found = snaps[idx]
+        if found is None:
+            found = snaps[idx] = self._cols.counters_at_row(
+                self._rows[tid][idx]
+            )
+        return found
 
     def spawn_time(self, tid: int) -> float:
         """When ``tid`` was created (0.0 if it existed from the start)."""
@@ -58,14 +115,14 @@ class CounterTimeline:
         idx = bisect.bisect_right(times, time_ns) - 1
         if idx < 0:
             return CounterSet()
-        return self._snaps[tid][idx]
+        return self._snapshot(tid, idx)
 
     def final_counters(self, tid: int) -> CounterSet:
         """Cumulative counters at the thread's last snapshot."""
         snaps = self._snaps.get(tid)
         if not snaps:
             raise TraceError(f"no counter snapshots recorded for thread {tid}")
-        return snaps[-1]
+        return self._snapshot(tid, len(snaps) - 1)
 
     def delta(self, tid: int, start_ns: float, end_ns: float) -> CounterSet:
         """Counter increments of ``tid`` over ``[start_ns, end_ns]``."""

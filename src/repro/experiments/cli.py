@@ -25,6 +25,7 @@ import time
 from typing import Iterable, List
 
 from repro.common.errors import ConfigError
+from repro.common.profiling import UNSET, resolve_profile_path, run_maybe_profiled
 from repro.experiments import (
     fig1,
     fig3,
@@ -131,6 +132,12 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures."
     )
     parser.add_argument(
+        "--profile", nargs="?", default=UNSET, metavar="PSTATS",
+        help="profile the run with cProfile; optional dump path "
+             "(default repro-experiments.pstats; REPRO_PROFILE=1 also "
+             "enables)",
+    )
+    parser.add_argument(
         "experiments",
         nargs="*",
         default=list(_DEFAULT_ORDER),
@@ -156,6 +163,11 @@ def main(argv=None) -> int:
         help="do not read or write the persistent result cache",
     )
     args = parser.parse_args(argv)
+    profile_path = resolve_profile_path(args.profile, "repro-experiments.pstats")
+    return run_maybe_profiled(lambda: _run_suite(parser, args), profile_path)
+
+
+def _run_suite(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())

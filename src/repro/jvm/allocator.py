@@ -43,6 +43,20 @@ class ZeroInitAllocator:
         self.alloc_path_insns = alloc_path_insns
         self.init_insns_per_chunk = init_insns_per_chunk
         self.cpi = cpi
+        # Allocation work is built from three fixed, frozen segment shapes;
+        # sharing the instances across allocations keeps segments_for
+        # allocation-free for full chunks and lets timing caches hit.
+        self._header = ComputeSegment(insns=alloc_path_insns, cpi=cpi)
+        drain = self.zero_drain_ns_per_store
+        full_burst = StoreBurstSegment(
+            n_stores=max(1, chunk_bytes // self.STORE_BYTES),
+            drain_ns_per_store=drain,
+        )
+        if init_insns_per_chunk:
+            init = ComputeSegment(insns=init_insns_per_chunk, cpi=cpi)
+            self._full_chunk = (full_burst, init)
+        else:
+            self._full_chunk = (full_burst,)
 
     @property
     def zero_drain_ns_per_store(self) -> float:
@@ -56,22 +70,25 @@ class ZeroInitAllocator:
         return self.dram.store_line_drain_ns / stores_per_line
 
     def segments_for(self, n_bytes: int) -> List[Segment]:
-        """The timed segments an allocation of ``n_bytes`` executes."""
+        """The timed segments an allocation of ``n_bytes`` executes.
+
+        Full zeroing chunks share the same frozen segment instances; only a
+        trailing partial chunk is built fresh. Values and order match the
+        chunk-at-a-time construction exactly.
+        """
         check_positive("n_bytes", n_bytes)
-        segments: List[Segment] = [
-            ComputeSegment(insns=self.alloc_path_insns, cpi=self.cpi)
-        ]
-        remaining = n_bytes
-        drain = self.zero_drain_ns_per_store
-        while remaining > 0:
-            chunk = min(remaining, self.chunk_bytes)
-            n_stores = max(1, chunk // self.STORE_BYTES)
+        segments: List[Segment] = [self._header]
+        full, partial = divmod(n_bytes, self.chunk_bytes)
+        segments.extend(self._full_chunk * full)
+        if partial:
             segments.append(
-                StoreBurstSegment(n_stores=n_stores, drain_ns_per_store=drain)
+                StoreBurstSegment(
+                    n_stores=max(1, partial // self.STORE_BYTES),
+                    drain_ns_per_store=self.zero_drain_ns_per_store,
+                )
             )
             if self.init_insns_per_chunk:
                 segments.append(
                     ComputeSegment(insns=self.init_insns_per_chunk, cpi=self.cpi)
                 )
-            remaining -= chunk
         return segments

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.common.errors import SimulationError
 from repro.common.validation import check_positive
@@ -42,6 +42,7 @@ class Scheduler:
         self._running: Dict[int, int] = {}  # tid -> core
         self._queue: Deque[int] = deque()
         self._queued: Set[int] = set()
+        self._running_sorted: Optional[Tuple[int, ...]] = ()
 
     # ------------------------------------------------------------------
     # State inspection
@@ -51,6 +52,17 @@ class Scheduler:
     def running_tids(self) -> List[int]:
         """Tids currently occupying a core."""
         return list(self._running)
+
+    def running_sorted(self) -> Tuple[int, ...]:
+        """Tids currently on cores, ascending — cached between transitions.
+
+        The trace layer snapshots this tuple on every emitted event; caching
+        it removes a ``sorted()`` + tuple rebuild from the per-event path.
+        """
+        cached = self._running_sorted
+        if cached is None:
+            cached = self._running_sorted = tuple(sorted(self._running))
+        return cached
 
     @property
     def queued_tids(self) -> List[int]:
@@ -80,6 +92,7 @@ class Scheduler:
         if self._free_cores:
             core = self._free_cores.pop(0)
             self._running[tid] = core
+            self._running_sorted = None
             return Dispatch(tid=tid, core=core)
         self._queue.append(tid)
         self._queued.add(tid)
@@ -100,6 +113,7 @@ class Scheduler:
                 self._queued.discard(tid)
                 return None
             raise SimulationError(f"thread {tid} is not scheduled")
+        self._running_sorted = None
         if self._queue:
             next_tid = self._queue.popleft()
             self._queued.discard(next_tid)
@@ -124,6 +138,7 @@ class Scheduler:
             raise SimulationError(f"cannot preempt non-running thread {tid}")
         if not self._queue:
             raise SimulationError("preempting with an empty run queue")
+        self._running_sorted = None
         next_tid = self._queue.popleft()
         self._queued.discard(next_tid)
         self._running[next_tid] = core

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 from repro.arch.counters import CounterSet
 
@@ -65,6 +65,99 @@ class SimThread:
     blocked_ns: float = 0.0
     #: Timestamp of the most recent transition into BLOCKED.
     blocked_since_ns: Optional[float] = None
+    #: Merged-segment plan state: when the engine schedules a run of
+    #: consecutive segments as one event, the per-segment boundary times,
+    #: wall durations, counter increments and segment objects live here.
+    #: ``plan_index`` is the first segment not yet committed to ``counters``;
+    #: the scalar ``segment_*`` fields always mirror the current (in-flight)
+    #: plan segment so interpolation is unchanged.
+    plan_ends: Optional[List[float]] = None
+    plan_walls: Optional[List[float]] = None
+    plan_counters: Optional[List[CounterSet]] = None
+    plan_segments: Optional[List[object]] = None
+    plan_start_ns: float = 0.0
+    plan_index: int = 0
+
+    # ------------------------------------------------------------------
+    # Merged-plan bookkeeping
+    # ------------------------------------------------------------------
+
+    def set_plan(
+        self,
+        start_ns: float,
+        ends: List[float],
+        walls: List[float],
+        counters: List[CounterSet],
+        segments: List[object],
+    ) -> None:
+        """Install a merged plan; the first segment starts at ``start_ns``."""
+        self.plan_start_ns = start_ns
+        self.plan_ends = ends
+        self.plan_walls = walls
+        self.plan_counters = counters
+        self.plan_segments = segments
+        self.plan_index = 0
+        self.segment_start_ns = start_ns
+        self.segment_wall_ns = walls[0]
+        self.segment_counters = counters[0]
+
+    def sync_plan(self, now_ns: float) -> None:
+        """Commit plan segments that finished strictly before ``now_ns``.
+
+        Completed segments deposit their counters one at a time (the same
+        sequential accumulation order as per-segment completion events, so
+        float results are unchanged) and the scalar ``segment_*`` fields are
+        re-pointed at the now-current segment. A segment ending exactly at
+        ``now_ns`` is left in flight — observers at that instant interpolate
+        it at fraction 1.0, exactly as the unmerged engine did before its
+        completion event popped.
+        """
+        ends = self.plan_ends
+        i = self.plan_index
+        n = len(ends)
+        if i >= n or ends[i] >= now_ns:
+            return
+        counters = self.counters
+        plan_counters = self.plan_counters
+        while i < n and ends[i] < now_ns:
+            counters.add(plan_counters[i])
+            i += 1
+        self.plan_index = i
+        if i < n:
+            self.segment_start_ns = ends[i - 1]
+            self.segment_wall_ns = self.plan_walls[i]
+            self.segment_counters = plan_counters[i]
+        else:
+            self.segment_start_ns = None
+            self.segment_wall_ns = None
+            self.segment_counters = None
+
+    def finish_plan(self) -> None:
+        """Commit every remaining plan segment and clear the plan."""
+        plan_counters = self.plan_counters
+        counters = self.counters
+        for i in range(self.plan_index, len(plan_counters)):
+            counters.add(plan_counters[i])
+        self.clear_plan()
+
+    def truncate_plan(self, cut_index: int) -> List[object]:
+        """Drop plan segments after ``cut_index``; return them (in order)."""
+        leftover = self.plan_segments[cut_index + 1:]
+        del self.plan_ends[cut_index + 1:]
+        del self.plan_walls[cut_index + 1:]
+        del self.plan_counters[cut_index + 1:]
+        del self.plan_segments[cut_index + 1:]
+        return leftover
+
+    def clear_plan(self) -> None:
+        self.plan_ends = None
+        self.plan_walls = None
+        self.plan_counters = None
+        self.plan_segments = None
+        self.plan_index = 0
+        self.segment_start_ns = None
+        self.segment_wall_ns = None
+        self.segment_counters = None
 
     def partial_counters(self, now_ns: float) -> CounterSet:
         """Cumulative counters including a pro-rata share of the in-flight segment.
@@ -74,6 +167,8 @@ class SimThread:
         epoch snapshots taken while other threads are mid-segment are not
         quantized to segment boundaries.
         """
+        if self.plan_ends is not None:
+            self.sync_plan(now_ns)
         snapshot = self.counters.copy()
         if (
             self.segment_start_ns is not None

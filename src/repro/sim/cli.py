@@ -1,4 +1,4 @@
-"""``repro-trace``: simulate, archive, inspect and predict from traces.
+"""``repro-trace`` / ``repro-sim``: simulate, archive, inspect, benchmark.
 
 Subcommands::
 
@@ -6,20 +6,28 @@ Subcommands::
     repro-trace stats xalan-1g.json.gz
     repro-trace predict xalan-1g.json.gz --target 4.0 --model DEP+BURST
     repro-trace predict xalan-1g.json.gz --target 4.0 --all-models
+    repro-sim bench --scale 0.05 --reps 2
 
 The simulate subcommand runs a registered benchmark model at a fixed
 frequency and archives the trace; stats prints the analysis summary
 (trace statistics + criticality stack); predict runs any predictor over an
-archived trace — no re-simulation needed.
+archived trace — no re-simulation needed; bench times the DES core on the
+pinned hot-path workload (see :mod:`repro.sim.bench`). ``--profile [PATH]``
+(or ``REPRO_PROFILE=1``) wraps any subcommand in cProfile and writes a
+``.pstats`` dump.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.criticality import criticality_stack
 from repro.analysis.stats import trace_stats
+from repro.common.profiling import UNSET, resolve_profile_path, run_maybe_profiled
 from repro.common.tables import format_table
 from repro.core.predictors import make_predictor, predictor_names
 from repro.sim.run import simulate
@@ -102,15 +110,40 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.sim.bench import bench_payload
+
+    payload = bench_payload(
+        scales=[args.scale], reps=args.reps, engines=args.engines
+    )
+    for entry in payload["results"]:
+        print(
+            f"{entry['engine']:>8}: {entry['wall_s']:.3f}s "
+            f"({entry['events_per_sec']:,.0f} events/s, "
+            f"{entry['segments_per_sec']:,.0f} segments/s)"
+        )
+    if args.out:
+        Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro-trace`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-trace",
         description="Simulate, archive, inspect and predict from traces.",
     )
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument(
+        "--profile", nargs="?", default=UNSET, metavar="PSTATS",
+        help="profile the run with cProfile; optional dump path "
+             "(default repro-sim.pstats; REPRO_PROFILE=1 also enables)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="run a benchmark, archive the trace")
+    sim = sub.add_parser("simulate", parents=[profiled],
+                         help="run a benchmark, archive the trace")
     sim.add_argument("benchmark", choices=benchmark_names())
     sim.add_argument("--freq", type=float, default=1.0, help="GHz (set point)")
     sim.add_argument("--scale", type=float, default=0.2,
@@ -118,11 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--out", required=True, help="output path (.json[.gz])")
     sim.set_defaults(func=_cmd_simulate)
 
-    stats = sub.add_parser("stats", help="print trace statistics")
+    stats = sub.add_parser("stats", parents=[profiled],
+                          help="print trace statistics")
     stats.add_argument("trace", help="archived trace path")
     stats.set_defaults(func=_cmd_stats)
 
-    predict = sub.add_parser("predict", help="predict from an archived trace")
+    predict = sub.add_parser("predict", parents=[profiled],
+                            help="predict from an archived trace")
     predict.add_argument("trace", help="archived trace path")
     predict.add_argument("--target", type=float, required=True, help="GHz")
     predict.add_argument("--model", default="DEP+BURST",
@@ -132,17 +167,36 @@ def build_parser() -> argparse.ArgumentParser:
     predict.set_defaults(func=_cmd_predict)
 
     verify = sub.add_parser(
-        "verify", help="run the physical-invariant checks on a trace"
+        "verify", parents=[profiled],
+        help="run the physical-invariant checks on a trace",
     )
     verify.add_argument("trace", help="archived trace path")
     verify.set_defaults(func=_cmd_verify)
+
+    bench = sub.add_parser(
+        "bench", parents=[profiled],
+        help="time the DES core on the pinned hot-path workload",
+    )
+    bench.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_SCALE", "1.0")),
+        help="workload length scale (default REPRO_SCALE or 1.0)",
+    )
+    bench.add_argument("--reps", type=int, default=3,
+                       help="repetitions per engine (min is reported)")
+    bench.add_argument("--engines", nargs="+", default=["fast", "classic"],
+                       choices=["fast", "classic"])
+    bench.add_argument("--out", default=None,
+                       help="also write the JSON payload here")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    profile_path = resolve_profile_path(args.profile, "repro-sim.pstats")
+    return run_maybe_profiled(lambda: args.func(args), profile_path)
 
 
 if __name__ == "__main__":

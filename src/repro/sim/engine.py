@@ -1,18 +1,24 @@
-"""Minimal discrete-event queue with stale-event invalidation.
+"""Minimal discrete-event queue with indexed stale-event invalidation.
 
 The system schedules three kinds of future events: segment completions,
 sleep timers, and quantum boundaries. Segment completions must be revocable
 — a DVFS transition rescales every in-flight segment — so each event carries
 a *token*; bumping the token for a thread invalidates its outstanding
 events without the cost of removing them from the heap.
+
+The queue keeps a per-thread index of live tokens (:meth:`invalidate`).
+The hot-path :meth:`pop_raw` consults it and silently drops stale
+``("seg", tid, token)`` / ``("timer", tid, token)`` events during the pop,
+so the system's event loop never dispatches a handler for a revoked event
+and no per-pop record object is allocated. :meth:`pop` retains the original
+deliver-everything behavior for callers that do their own filtering.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 
@@ -31,8 +37,11 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, Any]] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._now = 0.0
+        #: tid -> currently-live token; payload-carried tokens that do not
+        #: match are stale completions/timers and are dropped by pop_raw.
+        self._live_tokens: Dict[int, int] = {}
 
     @property
     def now_ns(self) -> float:
@@ -45,7 +54,39 @@ class EventQueue:
             raise SimulationError(
                 f"event scheduled in the past: {time_ns} < now {self._now}"
             )
-        heapq.heappush(self._heap, (time_ns, next(self._seq), token, payload))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time_ns, seq, token, payload))
+
+    def invalidate(self, tid: int, live_token: int) -> None:
+        """Declare ``live_token`` the only valid token for ``tid``'s events.
+
+        Previously pushed ``("seg"/"timer", tid, old_token)`` events become
+        stale: they stay in the heap but :meth:`pop_raw` discards them.
+        """
+        self._live_tokens[tid] = live_token
+
+    def pop_raw(self) -> Optional[Tuple[float, int, int, Any]]:
+        """Pop the earliest *live* event as a raw heap tuple; None when empty.
+
+        Stale tokenized events are dropped without advancing the clock —
+        equivalent to the unindexed behavior, since any later live event
+        carries a time at least as large.
+        """
+        heap = self._heap
+        live = self._live_tokens
+        while heap:
+            item = heapq.heappop(heap)
+            payload = item[3]
+            if type(payload) is tuple and len(payload) >= 3:
+                expected = live.get(payload[1])
+                if expected is not None and payload[2] != expected:
+                    continue
+            time_ns = item[0]
+            if time_ns > self._now:
+                self._now = time_ns
+            return item
+        return None
 
     def pop(self) -> Optional[ScheduledEvent]:
         """Pop the earliest event and advance the clock; None when empty."""

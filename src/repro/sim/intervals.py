@@ -32,6 +32,10 @@ class IntervalRecord:
     event_hi: int = 0
     #: Wall time lost to a DVFS transition at the interval's start.
     transition_ns: float = 0.0
+    #: Cached cross-thread sum (records are immutable once closed).
+    _aggregate: CounterSet = field(
+        default=None, init=False, repr=False, compare=False  # type: ignore[assignment]
+    )
 
     def __post_init__(self) -> None:
         if self.end_ns < self.start_ns:
@@ -46,10 +50,13 @@ class IntervalRecord:
 
     def aggregate(self) -> CounterSet:
         """Counter deltas summed over all threads."""
-        total = CounterSet()
-        for counters in self.per_thread.values():
-            total.add(counters)
-        return total
+        total = self._aggregate
+        if total is None:
+            total = CounterSet()
+            for counters in self.per_thread.values():
+                total.add(counters)
+            self._aggregate = total
+        return total.copy()
 
     @property
     def busy_core_ns(self) -> float:

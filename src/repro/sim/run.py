@@ -61,11 +61,14 @@ def simulate(
     gc_model: Optional[GcModel] = None,
     quantum_ns: float = 5.0e6,
     max_ns: Optional[float] = None,
+    engine: str = "fast",
 ) -> SimulationResult:
     """Run ``program`` at a fixed chip frequency; return the result.
 
     Pass the same ``gc_model`` across calls for the same program to reuse
     the (frequency-independent) GC cycle programs between runs.
+    ``engine="classic"`` selects the per-segment event engine (one event
+    per segment) instead of the batched plan engine; results are identical.
     """
     spec = spec or haswell_i7_4770k()
     system = System(
@@ -75,6 +78,7 @@ def simulate(
         freq_ghz=freq_ghz,
         quantum_ns=quantum_ns,
         gc_model=gc_model,
+        engine=engine,
     )
     trace = system.run(max_ns=max_ns)
     return SimulationResult(trace=trace, spec=spec)
@@ -89,6 +93,7 @@ def simulate_managed(
     initial_freq_ghz: Optional[float] = None,
     quantum_ns: float = 5.0e6,
     max_ns: Optional[float] = None,
+    engine: str = "fast",
 ) -> SimulationResult:
     """Run ``program`` under a DVFS governor invoked at quantum boundaries."""
     spec = spec or haswell_i7_4770k()
@@ -100,6 +105,7 @@ def simulate_managed(
         freq_ghz=initial_freq_ghz if initial_freq_ghz is not None else spec.max_freq_ghz,
         quantum_ns=quantum_ns,
         gc_model=gc_model,
+        engine=engine,
     )
     trace = system.run(max_ns=max_ns)
     return SimulationResult(trace=trace, spec=spec)

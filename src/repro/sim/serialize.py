@@ -22,7 +22,13 @@ from repro.common.errors import TraceError
 from repro.arch.counters import COUNTER_FIELDS, CounterSet
 from repro.osmodel.threadmodel import ThreadKind
 from repro.sim.intervals import IntervalRecord
-from repro.sim.trace import EventKind, SimulationTrace, ThreadInfo, TraceEvent
+from repro.sim.trace import (
+    EventKind,
+    SimulationTrace,
+    SnapshotView,
+    ThreadInfo,
+    TraceBuilder,
+)
 
 FORMAT_VERSION = 1
 
@@ -63,7 +69,11 @@ def trace_to_dict(trace: SimulationTrace) -> Dict:
                 "k": event.kind.value,
                 "f": event.freq_ghz,
                 "r": list(event.running_after),
-                "s": {
+                # Columnar traces render snapshots straight from the
+                # backing arrays; values are identical either way.
+                "s": event.snapshots.serialize_rows()
+                if type(event.snapshots) is SnapshotView
+                else {
                     str(tid): _counters_to_list(counters)
                     for tid, counters in event.snapshots.items()
                 },
@@ -110,20 +120,19 @@ def trace_from_dict(payload: Dict) -> SimulationTrace:
             tid=entry["tid"], name=entry["name"],
             kind=ThreadKind(entry["kind"]),
         )
+    builder = TraceBuilder(trace)
     for entry in payload["events"]:
-        trace.events.append(
-            TraceEvent(
-                time_ns=entry["t"],
-                tid=entry["tid"],
-                kind=EventKind(entry["k"]),
-                freq_ghz=entry["f"],
-                running_after=tuple(entry["r"]),
-                snapshots={
-                    int(tid): _counters_from_list(values)
-                    for tid, values in entry["s"].items()
-                },
-                detail=entry.get("d", ""),
-            )
+        builder.append_event(
+            entry["t"],
+            entry["tid"],
+            EventKind(entry["k"]),
+            entry["f"],
+            tuple(entry["r"]),
+            sorted(
+                (int(tid), _counters_from_list(values))
+                for tid, values in entry["s"].items()
+            ),
+            entry.get("d", ""),
         )
     for entry in payload["intervals"]:
         trace.intervals.append(

@@ -10,13 +10,35 @@ Event protocol
 --------------
 Three future-event kinds live in the queue:
 
-* ``("seg", tid, token)`` — a thread's in-flight segment completes;
+* ``("seg", tid, token)`` — a thread's in-flight segment *plan* completes;
 * ``("timer", tid, token)`` — a timed sleep expires;
 * ``("quantum",)`` — a scheduling-quantum boundary (interval close, DVFS
   governor invocation).
 
-Tokens invalidate stale segment completions after a mid-flight DVFS
-rescale.
+Tokens invalidate stale completions after a mid-flight DVFS rescale or a
+plan truncation; the queue's live-token index drops them during the pop.
+
+Merged plans (the fast engine)
+------------------------------
+Consecutive segments of one thread are timed in a single vectorized batch
+and scheduled as ONE completion event at the end of the run ("plan").
+Per-segment boundaries are preserved exactly — boundary times are the same
+sequential ``t = t + wall`` sums the per-segment engine produced, counters
+commit one segment at a time in the same order (lazily, on first
+observation past a boundary), and the in-flight segment is interpolated
+with the unchanged formula — so traces are bit-identical. Every situation
+where the per-segment engine would have re-examined a boundary cuts a plan
+short:
+
+* plan formation stops at the first boundary that crosses the round-robin
+  timeslice (where ``should_preempt`` could fire);
+* raising the GC-pending flag truncates every application plan after its
+  current segment (threads park at the next segment boundary);
+* a DVFS transition truncates plans to the current segment and re-anchors
+  it at the new frequency (untimed leftovers return to the pending deque).
+
+``engine="classic"`` caps plans at one segment, reproducing the
+pre-merged engine event for event — the differential-test oracle.
 
 Stop-the-world protocol
 -----------------------
@@ -31,14 +53,14 @@ application wakes.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.arch.core import CoreModel
 from repro.arch.counters import CounterSet
 from repro.arch.frequency import DvfsDomain
-from repro.arch.segments import Segment
+from repro.arch.segments import SegmentBatch
 from repro.arch.specs import MachineSpec, haswell_i7_4770k
 from repro.jvm.gc import GcModel
 from repro.jvm.jit import build_jit_program
@@ -49,7 +71,7 @@ from repro.osmodel.scheduler import Dispatch, Scheduler
 from repro.osmodel.threadmodel import SimThread, ThreadKind, ThreadState
 from repro.sim.engine import EventQueue
 from repro.sim.intervals import IntervalRecord
-from repro.sim.trace import EventKind, SimulationTrace, ThreadInfo, TraceEvent
+from repro.sim.trace import EventKind, SimulationTrace, ThreadInfo, TraceBuilder
 from repro.workloads.items import (
     Acquire,
     Action,
@@ -90,7 +112,14 @@ class System:
         timeslice_ns: float = 1.0e6,
         gc_model: Optional[GcModel] = None,
         per_core_dvfs: bool = False,
+        engine: str = "fast",
     ) -> None:
+        if engine not in ("fast", "classic"):
+            raise SimulationError(f"unknown engine {engine!r}")
+        self.engine = engine
+        #: Max segments merged into one completion event. ``classic`` pins
+        #: it to 1, reproducing the per-segment engine exactly.
+        self._plan_limit = 256 if engine == "fast" else 1
         self.spec = spec or haswell_i7_4770k()
         self.program = program
         self.core_model = CoreModel(self.spec)
@@ -105,6 +134,7 @@ class System:
         self.trace = SimulationTrace(
             program_name=program.name, base_freq_ghz=self.dvfs.current_freq_ghz
         )
+        self._builder = TraceBuilder(self.trace)
         self._queue = EventQueue()
         self._mutexes: Dict[int, MutexState] = {}
         self._barriers: Dict[int, BarrierState] = {}
@@ -114,7 +144,23 @@ class System:
         self._pushback: Dict[int, Optional[Action]] = {}
         self._alloc_retries: Dict[int, int] = {}
         self._tokens: Dict[int, int] = {}
-        self._segments_inflight: Dict[int, Segment] = {}
+        #: freq -> {id(segment): (segment, wall_ns, counters)}. Programs and
+        #: the allocator reuse frozen segment instances heavily; timing is a
+        #: pure function of (segment, frequency), so results are shared. The
+        #: value keeps a strong reference to the segment, which pins its id.
+        self._timing_cache: Dict[float, Dict[int, Tuple]] = {}
+        #: Every Run segment of the pre-materialized thread programs; used
+        #: to pre-time the whole program in one vectorized batch per
+        #: frequency instead of one scalar call per (mostly unique) segment.
+        self._static_segments: List = []
+        #: (freq, warmed ids) of the current GC cycle's pre-timed segments,
+        #: evicted when the cycle ends (cycle segments never recur).
+        self._gc_warmed: Optional[Tuple[float, List[int]]] = None
+        #: Threads with an in-flight segment plan, in plan-start order.
+        self._plans_inflight: Dict[int, SimThread] = {}
+        #: Diagnostics for the benchmark harness.
+        self.events_handled = 0
+        self.segments_timed = 0
         self._app_alive = 0
         self._gc_pending = False
         self._gc_active = False
@@ -135,6 +181,7 @@ class System:
 
     def _build_threads(self) -> None:
         tid = 0
+        static_segments = self._static_segments
         for thread_prog in self.program.threads:
             self._threads[tid] = SimThread(
                 tid=tid,
@@ -143,6 +190,9 @@ class System:
                 program=iter(thread_prog.actions),
                 state=ThreadState.RUNNABLE,
             )
+            for action in thread_prog.actions:
+                if isinstance(action, Run):
+                    static_segments.append(action.segment)
             tid += 1
         for worker in range(self.runtime.n_gc_threads):
             self._threads[tid] = SimThread(
@@ -165,6 +215,9 @@ class System:
                 program=iter(jit_prog.actions),
                 state=ThreadState.RUNNABLE,
             )
+            for action in jit_prog.actions:
+                if isinstance(action, Run):
+                    static_segments.append(action.segment)
             tid += 1
         for thread in self._threads.values():
             self.trace.threads[thread.tid] = ThreadInfo(
@@ -188,30 +241,33 @@ class System:
         self._start_threads()
         self._queue.push(self.quantum_ns, ("quantum",))
         events_handled = 0
+        pop_raw = self._queue.pop_raw
         while self._app_alive > 0:
-            event = self._queue.pop()
-            if event is None:
+            item = pop_raw()
+            if item is None:
                 raise SimulationError(
                     "deadlock: no pending events but "
                     f"{self._app_alive} application thread(s) alive; "
                     f"states={[(t.tid, t.state.value) for t in self._threads.values()]}"
                 )
-            if max_ns is not None and event.time_ns > max_ns:
+            if max_ns is not None and item[0] > max_ns:
                 raise SimulationError(
-                    f"simulation exceeded max_ns={max_ns} (now {event.time_ns})"
+                    f"simulation exceeded max_ns={max_ns} (now {item[0]})"
                 )
             events_handled += 1
             if events_handled > _MAX_EVENTS:
                 raise SimulationError("event cap exceeded; likely livelock")
-            payload = event.payload
-            if payload[0] == "seg":
-                self._on_segment_done(payload[1], payload[2])
-            elif payload[0] == "timer":
-                self._on_timer(payload[1], payload[2])
-            elif payload[0] == "quantum":
+            payload = item[3]
+            kind = payload[0]
+            if kind == "seg":
+                self._on_segment_done(payload[1])
+            elif kind == "timer":
+                self._on_timer(payload[1])
+            elif kind == "quantum":
                 self._on_quantum()
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event payload {payload!r}")
+        self.events_handled = events_handled
         self._finalize()
         return self.trace
 
@@ -249,22 +305,18 @@ class System:
     # Event handlers
     # ==================================================================
 
-    def _on_segment_done(self, tid: int, token: int) -> None:
+    def _on_segment_done(self, tid: int) -> None:
+        # Stale tokens were already dropped by the queue's live-token index.
         thread = self._threads[tid]
-        if token != self._tokens[tid] or thread.state is not ThreadState.RUNNING:
-            return  # stale completion (frequency rescale)
-        if thread.segment_counters is None:
+        if thread.state is not ThreadState.RUNNING:
+            return
+        if thread.plan_counters is None:
             raise SimulationError(f"segment completion for idle thread {tid}")
-        thread.counters.add(thread.segment_counters)
-        thread.segment_start_ns = None
-        thread.segment_wall_ns = None
-        thread.segment_counters = None
-        self._segments_inflight.pop(tid, None)
+        thread.finish_plan()
+        self._plans_inflight.pop(tid, None)
         self._advance(tid)
 
-    def _on_timer(self, tid: int, token: int) -> None:
-        if token != self._tokens[tid]:
-            return
+    def _on_timer(self, tid: int) -> None:
         thread = self._threads[tid]
         if thread.state is not ThreadState.BLOCKED:
             return
@@ -321,7 +373,7 @@ class System:
                 return
             pending = self._pending_segments[tid]
             if pending:
-                self._start_segment(thread, pending.popleft())
+                self._start_plan(thread)
                 return
             # A collector worker with no work left parks on the idle futex.
             if (
@@ -337,6 +389,8 @@ class System:
                 return
             if isinstance(action, Run):
                 pending.append(action.segment)
+                if self._plan_limit > 1:
+                    self._slurp_runs(thread, pending)
                 continue
             if isinstance(action, Acquire):
                 mutex = self._mutex(action.lock_id)
@@ -365,7 +419,7 @@ class System:
                     return
                 key = _KEY_BARRIER_BASE + action.barrier_id
                 woken = self.futex.wake_all(key)
-                if sorted(woken) != sorted(released):
+                if Counter(woken) != Counter(released):
                     raise SimulationError(
                         f"futex/barrier mismatch on barrier {action.barrier_id}"
                     )
@@ -389,17 +443,20 @@ class System:
                         )
                     self._alloc_retries[tid] = retries + 1
                     self._gc_pending = True
+                    # Other application threads must park at their next
+                    # segment boundary, not their (merged) plan's end.
+                    self._truncate_app_plans()
                     self._pushback[tid] = action
                     self._block(tid, _KEY_GC_RENDEZVOUS, "gc-trigger")
                     return
                 self._alloc_retries[tid] = 0
                 pending.extend(segments)
+                if self._plan_limit > 1:
+                    self._slurp_runs(thread, pending)
                 continue
             if isinstance(action, Sleep):
-                self._tokens[tid] += 1
-                self._queue.push(
-                    now + action.duration_ns, ("timer", tid, self._tokens[tid])
-                )
+                token = self._bump_token(tid)
+                self._queue.push(now + action.duration_ns, ("timer", tid, token))
                 self._block(tid, _KEY_TIMER_BASE + tid, "sleep")
                 return
             raise SimulationError(f"unknown action {action!r}")
@@ -414,24 +471,238 @@ class System:
             return self._gc_work[thread.tid].popleft()
         return next(thread.program, None)
 
+    def _slurp_runs(self, thread: SimThread, pending: deque) -> None:
+        """Prefetch consecutive ``Run`` actions so their segments can merge.
+
+        Pulling a pre-built action list forward has no observable effect —
+        every check the per-segment engine ran between two Run actions
+        (safepoint, preemption, parking) still runs at the corresponding
+        segment boundary, either live at the plan end or via the plan
+        truncation hooks. The first non-Run action goes to the pushback
+        slot and is consumed at the usual point.
+        """
+        tid = thread.tid
+        if thread.kind is ThreadKind.GC:
+            work = self._gc_work[tid]
+            while work and isinstance(work[0], Run):
+                pending.append(work.popleft().segment)
+            return
+        if self._pushback[tid] is not None:
+            return
+        program = thread.program
+        while True:
+            action = next(program, None)
+            if action is None:
+                return
+            if isinstance(action, Run):
+                pending.append(action.segment)
+                continue
+            self._pushback[tid] = action
+            return
+
     # ------------------------------------------------------------------
-    # Segments
+    # Segment plans
     # ------------------------------------------------------------------
 
-    def _start_segment(self, thread: SimThread, segment: Segment) -> None:
+    def _bump_token(self, tid: int) -> int:
+        """Invalidate ``tid``'s outstanding events; return the new token."""
+        token = self._tokens[tid] + 1
+        self._tokens[tid] = token
+        self._queue.invalidate(tid, token)
+        return token
+
+    def _freq_cache(self, freq: float) -> Dict[int, Tuple]:
+        """The timing cache for ``freq``, pre-timing the whole program on
+        first touch.
+
+        Application segments are unique instances, so per-plan caching
+        never hits for them; but the programs are pre-materialized, so all
+        their segments can be timed in one vectorized batch up front.
+        ``time_batch`` is bit-identical to ``time_segment`` by contract,
+        which makes warming purely an optimization.
+        """
+        cache = self._timing_cache.get(freq)
+        if cache is None:
+            cache = self._timing_cache[freq] = {}
+            self._warm_cache(cache, freq, self._static_segments)
+        return cache
+
+    def _warm_cache(self, cache: Dict[int, Tuple], freq: float, segments) -> List[int]:
+        """Batch-time the uncached ``segments`` at ``freq``; return their ids.
+
+        Duplicate instances in ``segments`` are timed redundantly rather
+        than deduplicated — the second store writes the identical value.
+        """
+        misses = [s for s in segments if id(s) not in cache]
+        if not misses:
+            return []
+        batch = self.core_model.time_batch(SegmentBatch(misses), freq)
+        warmed: List[int] = []
+        for segment, wall, counters in zip(misses, batch.walls, batch.counters):
+            sid = id(segment)
+            cache[sid] = (segment, wall, counters)
+            warmed.append(sid)
+        return warmed
+
+    def _start_plan(self, thread: SimThread) -> None:
+        """Time the head of the pending deque and schedule its completion.
+
+        Merges up to ``_plan_limit`` segments into one batched plan, cut at
+        the first boundary that crosses the thread's round-robin timeslice
+        (the exact ``should_preempt`` arithmetic) so preemption points are
+        never merged over. Boundary times are the same sequential
+        ``t = t + wall`` sums the per-segment engine computed.
+        """
+        tid = thread.tid
         now = self._queue.now_ns
-        timing = self.core_model.time_segment(
-            segment, self.dvfs.frequency_of(thread.core)
-        )
+        pending = self._pending_segments[tid]
+        freq = self.dvfs.frequency_of(thread.core)
         start = now + self._consume_transition()
-        thread.segment_start_ns = start
-        thread.segment_wall_ns = timing.wall_ns
-        thread.segment_counters = timing.counters
-        self._segments_inflight[thread.tid] = segment
-        self._tokens[thread.tid] += 1
-        self._queue.push(
-            start + timing.wall_ns, ("seg", thread.tid, self._tokens[thread.tid])
-        )
+        limit = self._plan_limit
+        if limit == 1:
+            segment = pending.popleft()
+            timing = self.core_model.time_segment(segment, freq)
+            end = start + timing.wall_ns
+            thread.set_plan(
+                start, [end], [timing.wall_ns], [timing.counters], [segment]
+            )
+            self._plans_inflight[tid] = thread
+            self._queue.push(end, ("seg", tid, self._bump_token(tid)))
+            self.segments_timed += 1
+            return
+        cache = self._freq_cache(freq)
+        if len(pending) == 1:
+            # Lock/allocation-heavy programs produce mostly single-segment
+            # plans; skip the batch machinery for them.
+            segment = pending.popleft()
+            hit = cache.get(id(segment))
+            if hit is None:
+                timing = self.core_model.time_segment(segment, freq)
+                hit = (segment, timing.wall_ns, timing.counters)
+                cache[id(segment)] = hit
+            wall = hit[1]
+            end = start + wall
+            thread.set_plan(start, [end], [wall], [hit[2]], [segment])
+            self._plans_inflight[tid] = thread
+            self._queue.push(end, ("seg", tid, self._bump_token(tid)))
+            self.segments_timed += 1
+            return
+        count = min(len(pending), limit)
+        segments = [pending.popleft() for _ in range(count)]
+        walls: List[float] = [0.0] * count
+        counters: List[CounterSet] = [None] * count  # type: ignore[list-item]
+        miss_pos: List[int] = []
+        for k, segment in enumerate(segments):
+            hit = cache.get(id(segment))
+            if hit is not None:
+                walls[k] = hit[1]
+                counters[k] = hit[2]
+            else:
+                miss_pos.append(k)
+        n_miss = len(miss_pos)
+        if n_miss:
+            if n_miss <= 8:
+                # Too small to amortize the vectorized path's setup.
+                for k in miss_pos:
+                    segment = segments[k]
+                    timing = self.core_model.time_segment(segment, freq)
+                    walls[k] = timing.wall_ns
+                    counters[k] = timing.counters
+                    cache[id(segment)] = (segment, timing.wall_ns, timing.counters)
+            else:
+                misses = [segments[k] for k in miss_pos]
+                batch = self.core_model.time_batch(SegmentBatch(misses), freq)
+                for k, segment, wall, cs in zip(
+                    miss_pos, misses, batch.walls, batch.counters
+                ):
+                    walls[k] = wall
+                    counters[k] = cs
+                    cache[id(segment)] = (segment, wall, cs)
+        ends: List[float] = []
+        t = start
+        n_take = count
+        if self.scheduler.is_oversubscribed():
+            # Someone is waiting for a core: should_preempt can fire, so
+            # the plan must end at the first boundary that crosses the
+            # timeslice. With an empty run queue preemption is impossible
+            # and _limit_running_plans cuts the plan if that changes.
+            dispatched = thread.dispatched_at_ns
+            timeslice = self.scheduler.timeslice_ns
+            n_take = 0
+            for wall in walls:
+                t = t + wall
+                ends.append(t)
+                n_take += 1
+                if t - dispatched >= timeslice:
+                    break
+        else:
+            for wall in walls:
+                t = t + wall
+                ends.append(t)
+        if n_take < count:
+            pending.extendleft(reversed(segments[n_take:]))
+            del segments[n_take:]
+            del walls[n_take:]
+            del counters[n_take:]
+        thread.set_plan(start, ends, walls, counters, segments)
+        self._plans_inflight[tid] = thread
+        self._queue.push(ends[-1], ("seg", tid, self._bump_token(tid)))
+        self.segments_timed += n_take
+
+    def _limit_running_plans(self) -> None:
+        """A thread just queued for a core: bound every in-flight plan.
+
+        Plans formed while the run queue was empty merge freely past the
+        timeslice (preemption cannot fire). Once a thread is waiting,
+        ``should_preempt`` becomes live again at every segment boundary,
+        so each plan must now end at its first boundary that crosses the
+        owner's timeslice — the same cut plan formation applies when the
+        queue is already non-empty.
+        """
+        now = self._queue.now_ns
+        timeslice = self.scheduler.timeslice_ns
+        for tid, thread in self._plans_inflight.items():
+            if thread.state is not ThreadState.RUNNING or thread.plan_ends is None:
+                continue
+            thread.sync_plan(now)
+            ends = thread.plan_ends
+            last = len(ends) - 1
+            k = thread.plan_index
+            if k > last:
+                continue
+            dispatched = thread.dispatched_at_ns
+            while k < last and ends[k] - dispatched < timeslice:
+                k += 1
+            if k >= last:
+                continue  # plan already ends at/before the first eligible cut
+            leftover = thread.truncate_plan(k)
+            self._pending_segments[tid].extendleft(reversed(leftover))
+            self._queue.push(ends[k], ("seg", tid, self._bump_token(tid)))
+
+    def _truncate_app_plans(self) -> None:
+        """GC became pending: cut application plans after their current segment.
+
+        The per-segment engine re-checked the GC flag at every segment
+        boundary, so a thread must park at the END of the segment it is in,
+        not at its merged plan's end. Untimed leftovers return to the front
+        of the pending deque; the replacement completion event fires at the
+        current segment's original boundary time.
+        """
+        now = self._queue.now_ns
+        for tid, thread in self._plans_inflight.items():
+            if thread.kind is not ThreadKind.APPLICATION:
+                continue
+            if thread.state is not ThreadState.RUNNING or thread.plan_ends is None:
+                continue
+            thread.sync_plan(now)
+            i = thread.plan_index
+            if i >= len(thread.plan_ends) - 1:
+                continue  # already on the last segment; its event stands
+            leftover = thread.truncate_plan(i)
+            self._pending_segments[tid].extendleft(reversed(leftover))
+            self._queue.push(
+                thread.plan_ends[i], ("seg", tid, self._bump_token(tid))
+            )
 
     def _consume_transition(self) -> float:
         """First segment started after a DVFS switch pays the residual stall."""
@@ -475,6 +746,7 @@ class System:
             self._advance(tid)
         else:
             thread.state = ThreadState.RUNNABLE
+            self._limit_running_plans()
             self._emit(EventKind.FUTEX_WAKE, tid, detail + "/queued")
 
     def _apply_dispatch(self, dispatch: Dispatch, emit: bool = True) -> None:
@@ -524,11 +796,27 @@ class System:
         self._gc_active = True
         self._gc_start_ns = self._queue.now_ns
         self._emit(EventKind.GC_START, -1, plan.kind)
+        if self._plan_limit > 1:
+            # Pre-time the whole cycle in one vectorized batch at the
+            # frequency the workers will (most likely) run at; plans then
+            # hit the cache segment by segment. Mid-cycle frequency changes
+            # fall back to the per-plan miss path.
+            freq = self.dvfs.current_freq_ghz
+            cycle_segments = [
+                action.segment
+                for actions in plan.worker_actions
+                for action in actions
+                if isinstance(action, Run)
+            ]
+            self._gc_warmed = (
+                freq,
+                self._warm_cache(self._freq_cache(freq), freq, cycle_segments),
+            )
         gc_tids = sorted(self._gc_work)
         for worker_index, gc_tid in enumerate(gc_tids):
             self._gc_work[gc_tid].extend(plan.worker_actions[worker_index])
         woken = self.futex.wake_all(_KEY_GC_IDLE)
-        if sorted(woken) != gc_tids:
+        if Counter(woken) != Counter(gc_tids):
             raise SimulationError("GC workers were not all parked at cycle start")
         self._gc_idle_workers = 0
         for gc_tid in woken:
@@ -559,6 +847,15 @@ class System:
         self._gc_active = False
         self._gc_pending = False
         self._gc_plan = None
+        if self._gc_warmed is not None:
+            # Cycle segments never recur; drop their cache entries so the
+            # cache stays bounded by the program size.
+            warm_freq, warmed_ids = self._gc_warmed
+            warm_cache = self._timing_cache.get(warm_freq)
+            if warm_cache is not None:
+                for sid in warmed_ids:
+                    warm_cache.pop(sid, None)
+            self._gc_warmed = None
         self._emit(EventKind.GC_END, -1, plan.kind)
         woken = self.futex.wake_all(_KEY_GC_RENDEZVOUS)
         for tid in woken:
@@ -576,23 +873,8 @@ class System:
             return
         new_freq = self.dvfs.current_freq_ghz
         self._pending_transition_ns = 0.0
-        for tid, segment in list(self._segments_inflight.items()):
-            thread = self._threads[tid]
-            if thread.state is not ThreadState.RUNNING:
-                continue
-            if thread.segment_start_ns is None or not thread.segment_wall_ns:
-                continue
-            elapsed = now - thread.segment_start_ns
-            fraction = min(max(elapsed / thread.segment_wall_ns, 0.0), 1.0)
-            timing = self.core_model.time_segment(segment, new_freq)
-            remaining = (1.0 - fraction) * timing.wall_ns
-            # Re-anchor the segment as if it had run at the new frequency
-            # all along, preserving the completed fraction.
-            thread.segment_start_ns = now + cost - fraction * timing.wall_ns
-            thread.segment_wall_ns = timing.wall_ns
-            thread.segment_counters = timing.counters
-            self._tokens[tid] += 1
-            self._queue.push(now + cost + remaining, ("seg", tid, self._tokens[tid]))
+        for tid, thread in list(self._plans_inflight.items()):
+            self._rescale_plan(thread, now, cost, new_freq)
         # Threads that start a fresh segment right after the switch also
         # pay the stall once.
         self._pending_transition_ns = cost
@@ -622,27 +904,42 @@ class System:
                 ),
                 None,
             )
-            if occupant is None:
+            if occupant is None or occupant.tid not in self._plans_inflight:
                 continue
-            segment = self._segments_inflight.get(occupant.tid)
-            if (
-                segment is None
-                or occupant.segment_start_ns is None
-                or not occupant.segment_wall_ns
-            ):
-                continue
-            elapsed = now - occupant.segment_start_ns
-            fraction = min(max(elapsed / occupant.segment_wall_ns, 0.0), 1.0)
-            timing = self.core_model.time_segment(segment, new_freq)
-            remaining = (1.0 - fraction) * timing.wall_ns
-            occupant.segment_start_ns = now + cost - fraction * timing.wall_ns
-            occupant.segment_wall_ns = timing.wall_ns
-            occupant.segment_counters = timing.counters
-            self._tokens[occupant.tid] += 1
-            self._queue.push(
-                now + cost + remaining,
-                ("seg", occupant.tid, self._tokens[occupant.tid]),
-            )
+            self._rescale_plan(occupant, now, cost, new_freq)
+
+    def _rescale_plan(
+        self, thread: SimThread, now: float, cost: float, new_freq: float
+    ) -> None:
+        """Re-anchor ``thread``'s current segment at ``new_freq``.
+
+        The plan is truncated to the segment in flight (untimed leftovers
+        return to the pending deque — their old-frequency timings are
+        stale) and that segment is replaced by a single-segment plan as if
+        it had run at the new frequency all along, preserving the
+        completed fraction. The arithmetic matches the per-segment engine
+        expression for expression.
+        """
+        if thread.state is not ThreadState.RUNNING or thread.plan_ends is None:
+            return
+        thread.sync_plan(now)
+        if thread.segment_start_ns is None or not thread.segment_wall_ns:
+            return
+        i = thread.plan_index
+        segment = thread.plan_segments[i]
+        leftover = thread.plan_segments[i + 1:]
+        if leftover:
+            self._pending_segments[thread.tid].extendleft(reversed(leftover))
+        elapsed = now - thread.segment_start_ns
+        fraction = min(max(elapsed / thread.segment_wall_ns, 0.0), 1.0)
+        timing = self.core_model.time_segment(segment, new_freq)
+        remaining = (1.0 - fraction) * timing.wall_ns
+        start = now + cost - fraction * timing.wall_ns
+        done_at = now + cost + remaining
+        thread.set_plan(
+            start, [done_at], [timing.wall_ns], [timing.counters], [segment]
+        )
+        self._queue.push(done_at, ("seg", thread.tid, self._bump_token(thread.tid)))
 
     # ------------------------------------------------------------------
     # Intervals
@@ -682,23 +979,20 @@ class System:
 
     def _emit(self, kind: EventKind, tid: int, detail: str = "") -> None:
         now = self._queue.now_ns
-        running = tuple(sorted(self.scheduler.running_tids))
-        snapshot_tids = set(running)
-        if tid >= 0:
-            snapshot_tids.add(tid)
-        snapshots = {
-            t: self._threads[t].partial_counters(now) for t in sorted(snapshot_tids)
-        }
-        self.trace.events.append(
-            TraceEvent(
-                time_ns=now,
-                tid=tid,
-                kind=kind,
-                freq_ghz=self.dvfs.current_freq_ghz,
-                running_after=running,
-                snapshots=snapshots,
-                detail=detail,
-            )
+        running = self.scheduler.running_sorted()
+        if tid >= 0 and tid not in running:
+            snap_tids: Tuple[int, ...] = tuple(sorted(running + (tid,)))
+        else:
+            snap_tids = running
+        threads = self._threads
+        self._builder.append_event(
+            now,
+            tid,
+            kind,
+            self.dvfs.current_freq_ghz,
+            running,
+            [(t, threads[t].partial_counters(now)) for t in snap_tids],
+            detail,
         )
 
     def _mutex(self, lock_id: int) -> MutexState:

@@ -17,8 +17,10 @@ boundaries to obtain per-epoch or per-interval deltas.
 from __future__ import annotations
 
 import enum
+from array import array
+from collections.abc import Mapping as AbcMapping
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.common.errors import TraceError
 from repro.arch.counters import CounterSet
@@ -63,6 +65,155 @@ class EventKind(enum.Enum):
         )
 
 
+#: Declaration-order list of event kinds; ``TraceColumns.kind`` stores the
+#: index into this list as a one-byte code.
+KIND_ORDER: Tuple[EventKind, ...] = tuple(EventKind)
+_KIND_CODE: Dict[EventKind, int] = {kind: i for i, kind in enumerate(KIND_ORDER)}
+
+
+class TraceColumns:
+    """Columnar storage behind a trace's event list.
+
+    One row per event in the scalar columns; counter snapshots are packed
+    CSR-style: event ``i``'s snapshot rows occupy ``snap_lo[i]:snap_lo[i+1]``
+    of ``snap_tid`` and the seven per-field counter columns (ascending tid
+    within an event). Float fields use ``array('d')`` and the integer
+    counters ``array('q')``, so values round-trip bit-exactly and keep their
+    Python types (float vs int) — serialization output is unchanged.
+    """
+
+    __slots__ = (
+        "time_ns", "tid", "kind", "freq_ghz", "detail", "running",
+        "snap_lo", "snap_tid",
+        "active_ns", "crit_ns", "leading_ns", "stall_ns", "sqfull_ns",
+        "insns", "stores",
+    )
+
+    def __init__(self) -> None:
+        self.time_ns = array("d")
+        self.tid = array("i")
+        self.kind = array("B")
+        self.freq_ghz = array("d")
+        self.detail: List[str] = []
+        self.running: List[Tuple[int, ...]] = []
+        self.snap_lo = array("q", [0])
+        self.snap_tid = array("i")
+        self.active_ns = array("d")
+        self.crit_ns = array("d")
+        self.leading_ns = array("d")
+        self.stall_ns = array("d")
+        self.sqfull_ns = array("d")
+        self.insns = array("q")
+        self.stores = array("q")
+
+    @property
+    def n_events(self) -> int:
+        return len(self.time_ns)
+
+    def counters_at_row(self, row: int) -> CounterSet:
+        """Materialize the snapshot stored at counter row ``row``."""
+        return CounterSet(
+            self.active_ns[row],
+            self.crit_ns[row],
+            self.leading_ns[row],
+            self.stall_ns[row],
+            self.sqfull_ns[row],
+            self.insns[row],
+            self.stores[row],
+        )
+
+
+class SnapshotView(AbcMapping):
+    """Lazy ``Mapping[int, CounterSet]`` over one event's snapshot rows.
+
+    Behaves exactly like the eager dict the simulator used to build —
+    iteration in ascending-tid order, ``==`` against plain dicts — but
+    materializes :class:`CounterSet` objects only on access (cached).
+    """
+
+    __slots__ = ("_cols", "_lo", "_hi", "_cache")
+
+    def __init__(self, cols: TraceColumns, lo: int, hi: int) -> None:
+        self._cols = cols
+        self._lo = lo
+        self._hi = hi
+        self._cache: Optional[Dict[int, CounterSet]] = None
+
+    def row_of(self, tid: int) -> int:
+        """Absolute counter-row index of ``tid``'s snapshot (KeyError if absent)."""
+        snap_tid = self._cols.snap_tid
+        for row in range(self._lo, self._hi):
+            if snap_tid[row] == tid:
+                return row
+        raise KeyError(tid)
+
+    def __getitem__(self, tid: int) -> CounterSet:
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = {}
+        found = cache.get(tid)
+        if found is None:
+            found = cache[tid] = self._cols.counters_at_row(self.row_of(tid))
+        return found
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __iter__(self) -> Iterator[int]:
+        snap_tid = self._cols.snap_tid
+        for row in range(self._lo, self._hi):
+            yield snap_tid[row]
+
+    def __contains__(self, tid: object) -> bool:
+        snap_tid = self._cols.snap_tid
+        for row in range(self._lo, self._hi):
+            if snap_tid[row] == tid:
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AbcMapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mappings are unhashable, like dict
+
+    def delta(self, tid: int, older: "SnapshotView") -> CounterSet:
+        """``self[tid].delta_since(older[tid])`` without the intermediates."""
+        cols = self._cols
+        row = self.row_of(tid)
+        old_row = older.row_of(tid)
+        old_cols = older._cols
+        return CounterSet(
+            cols.active_ns[row] - old_cols.active_ns[old_row],
+            cols.crit_ns[row] - old_cols.crit_ns[old_row],
+            cols.leading_ns[row] - old_cols.leading_ns[old_row],
+            cols.stall_ns[row] - old_cols.stall_ns[old_row],
+            cols.sqfull_ns[row] - old_cols.sqfull_ns[old_row],
+            cols.insns[row] - old_cols.insns[old_row],
+            cols.stores[row] - old_cols.stores[old_row],
+        )
+
+    def serialize_rows(self) -> Dict[str, list]:
+        """The ``{str(tid): [COUNTER_FIELDS...]}`` dict serialization writes."""
+        cols = self._cols
+        return {
+            str(cols.snap_tid[row]): [
+                cols.active_ns[row],
+                cols.crit_ns[row],
+                cols.leading_ns[row],
+                cols.stall_ns[row],
+                cols.sqfull_ns[row],
+                cols.insns[row],
+                cols.stores[row],
+            ]
+            for row in range(self._lo, self._hi)
+        }
+
+    def __repr__(self) -> str:
+        return f"SnapshotView({dict(self)!r})"
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One observable transition, with counter snapshots around it."""
@@ -91,6 +242,68 @@ class ThreadInfo:
     kind: ThreadKind
 
 
+class TraceBuilder:
+    """Append-only constructor of a columnar trace.
+
+    Owns a :class:`TraceColumns` store (attached to the trace as
+    ``trace.columns``) and appends matching :class:`TraceEvent` records —
+    whose ``snapshots`` are lazy :class:`SnapshotView` mappings — to
+    ``trace.events``, so every existing consumer of the event list keeps
+    working while columnar fast paths read the arrays directly.
+    """
+
+    __slots__ = ("columns", "_events")
+
+    def __init__(self, trace: "SimulationTrace") -> None:
+        self.columns = TraceColumns()
+        trace.columns = self.columns
+        self._events = trace.events
+
+    def append_event(
+        self,
+        time_ns: float,
+        tid: int,
+        kind: EventKind,
+        freq_ghz: float,
+        running: Tuple[int, ...],
+        snapshots,  # iterable of (tid, CounterSet), ascending tid
+        detail: str = "",
+    ) -> TraceEvent:
+        cols = self.columns
+        cols.time_ns.append(time_ns)
+        cols.tid.append(tid)
+        cols.kind.append(_KIND_CODE[kind])
+        cols.freq_ghz.append(freq_ghz)
+        cols.detail.append(detail)
+        cols.running.append(running)
+        snap_tid = cols.snap_tid
+        active = cols.active_ns
+        crit = cols.crit_ns
+        leading = cols.leading_ns
+        stall = cols.stall_ns
+        sqfull = cols.sqfull_ns
+        insns = cols.insns
+        stores = cols.stores
+        for t, cs in snapshots:
+            snap_tid.append(t)
+            active.append(cs.active_ns)
+            crit.append(cs.crit_ns)
+            leading.append(cs.leading_ns)
+            stall.append(cs.stall_ns)
+            sqfull.append(cs.sqfull_ns)
+            insns.append(cs.insns)
+            stores.append(cs.stores)
+        hi = len(snap_tid)
+        lo = cols.snap_lo[-1]
+        cols.snap_lo.append(hi)
+        event = TraceEvent(
+            time_ns, tid, kind, freq_ghz, running,
+            SnapshotView(cols, lo, hi), detail,
+        )
+        self._events.append(event)
+        return event
+
+
 @dataclass
 class SimulationTrace:
     """Everything observable from one simulation run."""
@@ -99,6 +312,12 @@ class SimulationTrace:
     events: List[TraceEvent] = field(default_factory=list)
     threads: Dict[int, ThreadInfo] = field(default_factory=dict)
     intervals: List[IntervalRecord] = field(default_factory=list)
+    #: Columnar backing store when the trace was produced by a
+    #: :class:`TraceBuilder`; None for hand-built traces. Excluded from
+    #: equality so a round-tripped trace compares equal to the original.
+    columns: Optional[TraceColumns] = field(
+        default=None, repr=False, compare=False
+    )
     total_ns: float = 0.0
     #: The (initial) frequency of the run; fixed-frequency runs never change it.
     base_freq_ghz: float = 0.0
@@ -129,6 +348,14 @@ class SimulationTrace:
         Uses each thread's most recent snapshot; every thread's EXIT event
         snapshots it, so completed runs report complete totals.
         """
+        cols = self.columns
+        if cols is not None and len(self.events) == cols.n_events:
+            last_row: Dict[int, int] = {}
+            for row, tid in enumerate(cols.snap_tid):
+                last_row[tid] = row
+            return {
+                tid: cols.counters_at_row(row) for tid, row in last_row.items()
+            }
         latest: Dict[int, CounterSet] = {}
         for event in self.events:
             for tid, counters in event.snapshots.items():

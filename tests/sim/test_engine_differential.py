@@ -1,0 +1,75 @@
+"""Differential proof: the fast engine is bit-identical to the classic one.
+
+The merged-plan engine (``engine="fast"``) must be indistinguishable from
+the per-segment engine (``engine="classic"``, the pre-optimization
+semantics) in everything observable: serialized traces compare byte for
+byte on two benchmarks at two frequencies, and an energy-manager run
+reproduces the identical decision sequence, frequency trajectory, and
+serialized trace.
+"""
+
+import json
+
+import pytest
+
+from repro.arch.specs import haswell_i7_4770k
+from repro.energy.manager import EnergyManager
+from repro.sim.run import simulate, simulate_managed
+from repro.sim.serialize import trace_to_dict
+from repro.sim.trace import EventKind
+from repro.workloads.dacapo import build_dacapo, dacapo_jvm_config
+
+_SCALE = 0.02
+_QUANTUM = 2.0e5
+
+
+def _serialized(trace) -> bytes:
+    return json.dumps(
+        trace_to_dict(trace), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+@pytest.mark.parametrize("bench_name", ["xalan", "lusearch"])
+@pytest.mark.parametrize("freq_ghz", [1.0, 3.5])
+def test_serialized_traces_byte_identical(bench_name, freq_ghz):
+    jvm_config = dacapo_jvm_config(bench_name)
+    runs = {
+        engine: simulate(
+            build_dacapo(bench_name, scale=_SCALE),
+            freq_ghz,
+            jvm_config=jvm_config,
+            quantum_ns=_QUANTUM,
+            engine=engine,
+        )
+        for engine in ("fast", "classic")
+    }
+    assert runs["fast"].total_ns == runs["classic"].total_ns
+    assert _serialized(runs["fast"].trace) == _serialized(runs["classic"].trace)
+
+
+def test_energy_manager_decision_sequence_identical():
+    jvm_config = dacapo_jvm_config("xalan")
+    traces = {}
+    decisions = {}
+    for engine in ("fast", "classic"):
+        manager = EnergyManager(spec=haswell_i7_4770k())
+        result = simulate_managed(
+            build_dacapo("xalan", scale=_SCALE),
+            manager,
+            jvm_config=jvm_config,
+            quantum_ns=_QUANTUM,
+            engine=engine,
+        )
+        traces[engine] = result.trace
+        decisions[engine] = manager.decisions
+    assert decisions["fast"] == decisions["classic"]
+    assert len(decisions["fast"]) > 0
+    for engine_events in zip(
+        traces["fast"].events, traces["classic"].events
+    ):
+        fast_event, classic_event = engine_events
+        if fast_event.kind is EventKind.FREQ_CHANGE:
+            assert classic_event.kind is EventKind.FREQ_CHANGE
+            assert fast_event.time_ns == classic_event.time_ns
+            assert fast_event.detail == classic_event.detail
+    assert _serialized(traces["fast"]) == _serialized(traces["classic"])

@@ -1,0 +1,101 @@
+"""Hot-path throughput benchmark: time the DES core on a pinned workload.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_hotpath.py                  # full scale
+    REPRO_SCALE=0.05 PYTHONPATH=src python tools/bench_hotpath.py --reps 2
+    python tools/bench_hotpath.py --check BENCH_hotpath.json      # CI gate
+
+Emits ``BENCH_hotpath.json`` (override with ``--out``) with wall time,
+events/sec and segments/sec for the fast and classic engines on the
+``hotpath_stress`` workload (see :mod:`repro.sim.bench`). With ``--check
+BASELINE``, compares the fresh run's fast-engine events/sec against the
+committed baseline file and exits non-zero on a >30% regression — the CI
+smoke gate. ``repro-sim bench`` wraps the same runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.bench import bench_payload  # noqa: E402
+
+#: CI fails when fast-engine events/sec drops below this fraction of the
+#: committed baseline.
+REGRESSION_FLOOR = 0.70
+
+
+def _fast_entry(payload: dict) -> dict:
+    entries = [e for e in payload["results"] if e["engine"] == "fast"]
+    if not entries:
+        raise SystemExit("no fast-engine entry in benchmark payload")
+    # events/sec is a throughput and thus roughly scale-invariant, so any
+    # fast entry works as the reference; prefer the smallest scale (what
+    # CI re-measures).
+    return min(entries, key=lambda e: e["scale"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float, nargs="+",
+        default=[float(os.environ.get("REPRO_SCALE", "1.0"))],
+        help="workload length scale(s) (default REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per engine (min is reported)")
+    parser.add_argument("--out", default="BENCH_hotpath.json",
+                        help="output JSON path")
+    parser.add_argument("--engines", nargs="+", default=["fast", "classic"],
+                        choices=["fast", "classic"])
+    parser.add_argument(
+        "--baseline-wall", type=float, default=None,
+        help="pre-PR wall time (s) on the same workload, for the speedup field",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE_JSON", default=None,
+        help="compare fast-engine events/sec against a committed baseline "
+             "file scaled to this run's workload; exit 1 on >30%% regression",
+    )
+    args = parser.parse_args(argv)
+
+    payload = bench_payload(
+        scales=args.scale, reps=args.reps, engines=args.engines,
+        baseline_wall_s=args.baseline_wall,
+    )
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for entry in payload["results"]:
+        speedup = entry.get("speedup_vs_baseline")
+        note = f", {speedup:.2f}x vs pre-PR" if speedup else ""
+        print(
+            f"{entry['engine']:>8} @ scale {entry['scale']:g}: "
+            f"{entry['wall_s']:.3f}s "
+            f"({entry['events_per_sec']:,.0f} events/s, "
+            f"{entry['segments_per_sec']:,.0f} segments/s{note})"
+        )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        base_eps = _fast_entry(baseline)["events_per_sec"]
+        new_eps = _fast_entry(payload)["events_per_sec"]
+        ratio = new_eps / base_eps
+        print(
+            f"events/sec vs baseline: {new_eps:,.0f} / {base_eps:,.0f} "
+            f"= {ratio:.2f}x (floor {REGRESSION_FLOOR:.2f}x)"
+        )
+        if ratio < REGRESSION_FLOOR:
+            print("FAIL: hot-path throughput regressed by more than 30%")
+            return 1
+        print("ok: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
