@@ -20,7 +20,7 @@ Quick start::
     error = predicted_ns / actual.total_ns - 1.0
 """
 
-from repro.core.predictors import make_predictor, predictor_names
+from repro.core.predictors import get_predictor, make_predictor, predictor_names
 from repro.core.evaluate import mean_absolute_error, prediction_error
 from repro.sim.run import SimulationResult, simulate, simulate_managed
 from repro.workloads.registry import BenchmarkBundle, benchmark_names, get_benchmark
@@ -33,6 +33,7 @@ __all__ = [
     "__version__",
     "benchmark_names",
     "get_benchmark",
+    "get_predictor",
     "make_predictor",
     "mean_absolute_error",
     "prediction_error",

@@ -104,15 +104,23 @@ class CoreModel:
         counters = CounterSet(active_ns=wall_ns, insns=segment.insns)
         return SegmentTiming(wall_ns=wall_ns, counters=counters)
 
+    def queue_factor(self, freq_ghz: float) -> float:
+        """Served-latency inflation at ``freq_ghz``.
+
+        Faster cores put more pressure on the memory controller: the
+        *served* chain latency grows mildly with frequency, while CRIT's
+        counter naturally records the latency at the measured frequency.
+        Shared by the scalar and batch entry points so both inflate
+        chains with the identical expression.
+        """
+        return 1.0 + self.spec.dram.queue_freq_sensitivity_per_ghz * (
+            freq_ghz - 1.0
+        )
+
     def time_memory(self, segment: MemorySegment, freq_ghz: float) -> SegmentTiming:
         """Compute punctuated by LLC-miss clusters with ROB-bounded overlap."""
         compute_ns = segment.insns * segment.cpi / freq_ghz
-        # Faster cores put more pressure on the memory controller: the
-        # *served* chain latency grows mildly with frequency, while CRIT's
-        # counter naturally records the latency at the measured frequency.
-        queue_factor = 1.0 + self.spec.dram.queue_freq_sensitivity_per_ghz * (
-            freq_ghz - 1.0
-        )
+        queue_factor = self.queue_factor(freq_ghz)
         total_chain_ns = segment.total_chain_ns * queue_factor
         if segment.n_clusters:
             hide_ns = self._rob_hide_insns * segment.cpi / freq_ghz
@@ -211,9 +219,7 @@ class CoreModel:
                 )
 
         if batch.m_pos:
-            queue_factor = 1.0 + self.spec.dram.queue_freq_sensitivity_per_ghz * (
-                freq_ghz - 1.0
-            )
+            queue_factor = self.queue_factor(freq_ghz)
             compute_arr = batch.m_insns_f * batch.m_cpi / freq_ghz
             total_chain_arr = batch.m_total_chain * queue_factor
             leading_arr = batch.m_leading * queue_factor

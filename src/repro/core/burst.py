@@ -25,4 +25,7 @@ def with_burst(estimator: NonScalingEstimator) -> NonScalingEstimator:
         return estimator(counters) + counters.sqfull_ns
 
     burst_estimator.__name__ = f"{getattr(estimator, '__name__', 'estimator')}+burst"
+    # Expose the wrapped estimator so the vectorized batch evaluator can
+    # recognize "+BURST of a known base" and add the sqfull column.
+    burst_estimator.base_estimator = estimator
     return burst_estimator

@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.common.errors import PredictionError
 from repro.core.crit import crit_nonscaling
+from repro.core.epochs import Epoch
 from repro.core.model import NonScalingEstimator, decompose
 from repro.core.timeline import CounterTimeline
 from repro.sim.trace import EventKind, SimulationTrace
@@ -92,6 +93,48 @@ class CoopPredictor:
             tids: Sequence[int] = app_tids if phase.kind == "app" else gc_tids
             total += self._predict_phase(phase, tids, timeline, base, target_freq_ghz)
         return total
+
+    def predict_epochs(
+        self,
+        epochs: Sequence[Epoch],
+        base_freq_ghz: float,
+        target_freq_ghz: float,
+    ) -> float:
+        """COOP over an epoch window (the online / per-quantum variant).
+
+        Contiguous runs of epochs with the same ``during_gc`` flag form
+        the application/collection phases; within each phase M+CRIT's
+        window semantics apply (span wall time, summed counters, slowest
+        predicted thread). Phase predictions are summed, exactly as the
+        whole-trace model sums its GC-marker phases.
+        """
+        from repro.core.mcrit import _sum_thread_deltas
+
+        total = 0.0
+        group: List[Epoch] = []
+        for epoch in epochs:
+            if group and epoch.during_gc != group[0].during_gc:
+                total += self._predict_epoch_group(
+                    group, base_freq_ghz, target_freq_ghz, _sum_thread_deltas
+                )
+                group = []
+            group.append(epoch)
+        if group:
+            total += self._predict_epoch_group(
+                group, base_freq_ghz, target_freq_ghz, _sum_thread_deltas
+            )
+        return total
+
+    def _predict_epoch_group(self, group, base, target, sum_deltas) -> float:
+        span = group[-1].end_ns - group[0].start_ns
+        summed = sum_deltas(group)
+        if not summed:
+            return span
+        best = 0.0
+        for counters in summed.values():
+            decomposition = decompose(span, counters, self.estimator)
+            best = max(best, decomposition.predict_ns(base, target))
+        return best
 
     def _predict_phase(
         self,

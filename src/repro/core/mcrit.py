@@ -14,9 +14,11 @@ including the flaw.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Sequence
 
 from repro.common.errors import PredictionError
+from repro.arch.counters import CounterSet
+from repro.core.epochs import Epoch
 from repro.core.model import NonScalingEstimator, decompose
 from repro.core.crit import crit_nonscaling
 from repro.core.timeline import CounterTimeline
@@ -52,3 +54,45 @@ class MCritPredictor:
                 predicted, decomposition.predict_ns(base, target_freq_ghz)
             )
         return predicted
+
+    def predict_epochs(
+        self,
+        epochs: Sequence[Epoch],
+        base_freq_ghz: float,
+        target_freq_ghz: float,
+    ) -> float:
+        """M+CRIT over an epoch window (the online / per-quantum variant).
+
+        The model's whole-run semantics carry over verbatim: each thread's
+        "lifetime" is the full window span — including any epochs it spent
+        asleep, faithfully reproducing the flaw — and its counters are the
+        summed deltas over the epochs it ran in. Used by the serve
+        subsystem, which sees counter windows instead of whole traces.
+        """
+        if not epochs:
+            return 0.0
+        span = epochs[-1].end_ns - epochs[0].start_ns
+        summed = _sum_thread_deltas(epochs)
+        if not summed:
+            # Nobody ever ran: the window is pure wait time.
+            return span
+        predicted = 0.0
+        for counters in summed.values():
+            decomposition = decompose(span, counters, self.estimator)
+            predicted = max(
+                predicted, decomposition.predict_ns(base_freq_ghz, target_freq_ghz)
+            )
+        return predicted
+
+
+def _sum_thread_deltas(epochs: Sequence[Epoch]) -> Dict[int, CounterSet]:
+    """Per-thread counter deltas summed over a window of epochs."""
+    summed: Dict[int, CounterSet] = {}
+    for epoch in epochs:
+        for tid, counters in epoch.thread_deltas.items():
+            seen = summed.get(tid)
+            if seen is None:
+                summed[tid] = counters.copy()
+            else:
+                seen.add(counters)
+    return summed

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Protocol
 
-from repro.common.errors import PredictionError
+from repro.common.errors import ConfigError, PredictionError
 from repro.core.burst import with_burst
 from repro.core.coop import CoopPredictor
 from repro.core.crit import crit_nonscaling
@@ -58,9 +58,59 @@ _SEQUENTIAL_ESTIMATORS: Dict[str, NonScalingEstimator] = {
 }
 
 
+#: Predictor family -> constructor. The registry is the single dispatch
+#: point: experiment drivers, the serve subsystem and the CLI all resolve
+#: names here instead of keeping their own if/elif chains.
+_FAMILIES = {
+    "M+CRIT": lambda est, ctp, display: MCritPredictor(
+        estimator=est, name=display
+    ),
+    "COOP": lambda est, ctp, display: CoopPredictor(estimator=est, name=display),
+    "DEP": lambda est, ctp, display: DepPredictor(
+        estimator=est, across_epoch_ctp=ctp, name=display
+    ),
+}
+
+
 def predictor_names() -> List[str]:
     """Predictor names in the paper's evaluation order."""
     return list(_EVALUATION_ORDER)
+
+
+def _build_predictor(
+    name: str, across_epoch_ctp: bool, estimator: NonScalingEstimator
+) -> Optional[Predictor]:
+    """Resolve a predictor name against the registry (None if unknown)."""
+    canonical = name.strip().upper()
+    burst = canonical.endswith("+BURST")
+    if burst:
+        canonical = canonical[: -len("+BURST")]
+    factory = _FAMILIES.get(canonical)
+    if factory is None:
+        return None
+    chosen = with_burst(estimator) if burst else estimator
+    display = f"{canonical}+BURST" if burst else canonical
+    return factory(chosen, across_epoch_ctp, display)
+
+
+def get_predictor(
+    name: str,
+    across_epoch_ctp: bool = True,
+    estimator: NonScalingEstimator = crit_nonscaling,
+) -> Predictor:
+    """Registry lookup by paper name; :class:`ConfigError` if unknown.
+
+    The configuration-facing twin of :func:`make_predictor`: anything that
+    takes a predictor name from user input (CLIs, the serve protocol,
+    experiment configs) resolves it here so an unknown name surfaces as a
+    configuration problem with the valid choices spelled out.
+    """
+    predictor = _build_predictor(name, across_epoch_ctp, estimator)
+    if predictor is None:
+        raise ConfigError(
+            f"unknown predictor {name!r}; expected one of {predictor_names()}"
+        )
+    return predictor
 
 
 def make_predictor(
@@ -73,23 +123,12 @@ def make_predictor(
     ``across_epoch_ctp`` selects DEP's critical-thread policy (Figure 4);
     ``estimator`` swaps the per-thread sequential model (CRIT by default).
     """
-    canonical = name.strip().upper()
-    burst = canonical.endswith("+BURST")
-    if burst:
-        canonical = canonical[: -len("+BURST")]
-    chosen = with_burst(estimator) if burst else estimator
-    display = f"{canonical}+BURST" if burst else canonical
-    if canonical == "M+CRIT":
-        return MCritPredictor(estimator=chosen, name=display)
-    if canonical == "COOP":
-        return CoopPredictor(estimator=chosen, name=display)
-    if canonical == "DEP":
-        return DepPredictor(
-            estimator=chosen, across_epoch_ctp=across_epoch_ctp, name=display
+    predictor = _build_predictor(name, across_epoch_ctp, estimator)
+    if predictor is None:
+        raise PredictionError(
+            f"unknown predictor {name!r}; expected one of {predictor_names()}"
         )
-    raise PredictionError(
-        f"unknown predictor {name!r}; expected one of {predictor_names()}"
-    )
+    return predictor
 
 
 class SequentialPredictor:

@@ -1,0 +1,199 @@
+"""Columnar batch evaluation of epoch-window predictions.
+
+The online prediction service (:mod:`repro.serve`) coalesces concurrent
+``predict`` requests into batches. Evaluating each request scalar-style
+costs one :func:`~repro.core.model.decompose` per (epoch, thread) entry
+and one Python-level multiply-add per target frequency; this module
+flattens every entry of every request in a batch into column arrays —
+the same idiom as :meth:`repro.arch.core.CoreModel.time_batch` — and
+performs the decomposition and frequency scaling as elementwise NumPy
+expressions.
+
+Bit-compatibility contract (mirroring ``time_batch``): every predicted
+duration equals the scalar ``predictor.predict_epochs`` result for the
+same job, because the vectorized expressions perform the identical
+IEEE-754 operations elementwise:
+
+    nonscaling = min(max(estimate, 0), wall)        # decompose's clamp
+    predicted  = (wall - nonscaling) * base / target + nonscaling
+
+The per-epoch critical-thread policy (Algorithm 1's delta bookkeeping)
+stays a Python loop over precomputed per-thread predictions — it is
+inherently sequential across epochs but touches only a handful of floats
+per epoch.
+
+Only DEP-family predictors with a recognized linear estimator take the
+columnar path; anything else (M+CRIT/COOP windows, custom estimators)
+falls back to the scalar code, so results never depend on which path ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import PredictionError
+from repro.core.crit import crit_nonscaling
+from repro.core.dep import DepPredictor
+from repro.core.epochs import Epoch
+from repro.core.leadingloads import leading_loads_nonscaling
+from repro.core.stalltime import stall_time_nonscaling
+
+#: Base estimators with a columnar equivalent: name -> column picker.
+_VECTOR_BASES: Dict[object, Tuple[str, Callable[["_Columns"], np.ndarray]]] = {
+    crit_nonscaling: ("crit", lambda c: c.crit),
+    stall_time_nonscaling: ("stall", lambda c: c.stall),
+    leading_loads_nonscaling: ("leading", lambda c: c.leading),
+}
+
+
+@dataclass(frozen=True)
+class PredictJob:
+    """One request's worth of prediction work."""
+
+    predictor: object  # anything with predict_epochs(epochs, base, target)
+    epochs: Sequence[Epoch]
+    base_freq_ghz: float
+    target_freqs_ghz: Tuple[float, ...]
+
+
+class _Columns:
+    """Counter columns of all (epoch, thread) entries of a job group."""
+
+    __slots__ = ("wall", "crit", "leading", "stall", "sqfull")
+
+    def __init__(self, entries: List) -> None:
+        n = len(entries)
+        self.wall = np.empty(n)
+        self.crit = np.empty(n)
+        self.leading = np.empty(n)
+        self.stall = np.empty(n)
+        self.sqfull = np.empty(n)
+        for i, c in enumerate(entries):
+            self.wall[i] = c.active_ns
+            self.crit[i] = c.crit_ns
+            self.leading[i] = c.leading_ns
+            self.stall[i] = c.stall_ns
+            self.sqfull[i] = c.sqfull_ns
+
+
+def vector_estimator_key(estimator) -> Optional[str]:
+    """Columnar identity of ``estimator`` (None if not vectorizable)."""
+    base = getattr(estimator, "base_estimator", None)
+    if base is not None:
+        entry = _VECTOR_BASES.get(base)
+        return f"{entry[0]}+burst" if entry else None
+    entry = _VECTOR_BASES.get(estimator)
+    return entry[0] if entry else None
+
+
+def _vector_estimate(estimator, cols: _Columns) -> np.ndarray:
+    """Columnar non-scaling estimate matching ``estimator`` exactly."""
+    base = getattr(estimator, "base_estimator", None)
+    if base is not None:
+        return _VECTOR_BASES[base][1](cols) + cols.sqfull
+    return _VECTOR_BASES[estimator][1](cols)
+
+
+def scalar_results(job: PredictJob) -> List[float]:
+    """Reference path: one scalar ``predict_epochs`` call per target."""
+    return [
+        job.predictor.predict_epochs(job.epochs, job.base_freq_ghz, target)
+        for target in job.target_freqs_ghz
+    ]
+
+
+def evaluate_predict_jobs(jobs: Sequence[PredictJob]) -> List[List[float]]:
+    """Evaluate a batch of jobs; results[i][k] is job i at its k-th target.
+
+    DEP-family jobs with a recognized estimator share columnar passes
+    (grouped per estimator); everything else runs the scalar path.
+    """
+    results: List[Optional[List[float]]] = [None] * len(jobs)
+    groups: Dict[str, List[int]] = {}
+    for i, job in enumerate(jobs):
+        key = None
+        if isinstance(job.predictor, DepPredictor):
+            key = vector_estimator_key(job.predictor.estimator)
+        if key is None:
+            results[i] = scalar_results(job)
+        else:
+            groups.setdefault(key, []).append(i)
+    for indices in groups.values():
+        _evaluate_group([jobs[i] for i in indices], indices, results)
+    return results  # type: ignore[return-value]
+
+
+def _evaluate_group(
+    group: List[PredictJob], indices: List[int], results: List
+) -> None:
+    """Columnar evaluation of jobs sharing one estimator."""
+    entries: List = []
+    # Per job: (entry_lo, per-epoch thread layout). The layout remembers,
+    # for each epoch, its (tids, duration, stall_tid) so the CTP loop can
+    # slice the flat prediction array back into epochs.
+    layouts: List[Tuple[int, List[Tuple[Tuple[int, ...], float, Optional[int]]]]] = []
+    for job in group:
+        lo = len(entries)
+        epoch_meta = []
+        for epoch in job.epochs:
+            tids = tuple(epoch.thread_deltas)
+            for tid in tids:
+                entries.append(epoch.thread_deltas[tid])
+            epoch_meta.append((tids, epoch.duration_ns, epoch.stall_tid))
+        layouts.append((lo, epoch_meta))
+    cols = _Columns(entries)
+    if cols.wall.size and float(cols.wall.min()) < 0:
+        raise PredictionError("negative wall time in predict batch")
+    estimate = _vector_estimate(group[0].predictor.estimator, cols)
+    nonscaling = np.minimum(np.maximum(estimate, 0.0), cols.wall)
+    scaling = cols.wall - nonscaling
+    for job, (lo, epoch_meta), out_index in zip(group, layouts, indices):
+        if job.base_freq_ghz <= 0 or any(t <= 0 for t in job.target_freqs_ghz):
+            raise PredictionError(
+                f"frequencies must be positive ({job.base_freq_ghz} -> "
+                f"{job.target_freqs_ghz})"
+            )
+        n = sum(len(tids) for tids, _, _ in epoch_meta)
+        s = scaling[lo : lo + n]
+        ns = nonscaling[lo : lo + n]
+        across = job.predictor.across_epoch_ctp
+        job_results: List[float] = []
+        for target in job.target_freqs_ghz:
+            predicted = (s * job.base_freq_ghz / target + ns).tolist()
+            job_results.append(_ctp_total(epoch_meta, predicted, across))
+        results[out_index] = job_results
+
+
+def _ctp_total(
+    epoch_meta: List[Tuple[Tuple[int, ...], float, Optional[int]]],
+    predicted: List[float],
+    across: bool,
+) -> float:
+    """Sum epoch durations under the per- or across-epoch CTP policy.
+
+    Performs the same operations in the same order as
+    :meth:`repro.core.dep.DepPredictor.predict_epoch`.
+    """
+    deltas: Dict[int, float] = {}
+    total = 0.0
+    cursor = 0
+    for tids, duration_ns, stall_tid in epoch_meta:
+        if not tids:
+            total += duration_ns
+            continue
+        values = predicted[cursor : cursor + len(tids)]
+        cursor += len(tids)
+        if not across:
+            total += max(values)
+            continue
+        effective = [a - deltas.get(tid, 0.0) for tid, a in zip(tids, values)]
+        epoch_duration = max(0.0, max(effective))
+        for tid, a in zip(tids, values):
+            deltas[tid] = deltas.get(tid, 0.0) + (epoch_duration - a)
+        if stall_tid is not None:
+            deltas[stall_tid] = 0.0
+        total += epoch_duration
+    return total

@@ -16,19 +16,26 @@ The manager therefore needs the predictor to be accurate in *both*
 directions — under-prediction wastes energy, over-prediction breaks the
 performance guarantee — which is exactly why Figure 6's slowdowns track
 the threshold only as well as the predictor allows.
+
+The quantum-step logic lives in :class:`EnergyManagerSession`, which is
+callable step by step on ``(IntervalRecord, epochs)`` pairs without a
+:class:`~repro.sim.trace.SimulationTrace` — this is what the online
+prediction service (:mod:`repro.serve`) drives over the wire.
+:class:`EnergyManager` remains the in-process governor: a thin wrapper
+that slices each interval's epochs out of the live trace and delegates.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.common.errors import ConfigError
 from repro.arch.specs import MachineSpec
-from repro.core.dep import DepPredictor
 from repro.core.burst import with_burst
 from repro.core.crit import crit_nonscaling
-from repro.core.epochs import extract_epochs
+from repro.core.dep import DepPredictor
+from repro.core.epochs import Epoch, extract_epochs
 from repro.sim.intervals import IntervalRecord
 from repro.sim.trace import SimulationTrace
 
@@ -82,11 +89,32 @@ class ManagerDecision:
     predicted_slowdown: float
 
 
-class EnergyManager:
-    """DVFS governor: minimum-energy frequency within a performance bound.
+def interval_epochs(
+    record: IntervalRecord, trace: SimulationTrace
+) -> List[Epoch]:
+    """Epochs of one interval, including its boundary markers.
 
-    Instances are callables matching the simulator's governor interface;
-    pass one to :func:`repro.sim.run.simulate_managed`.
+    The opening INTERVAL marker sits just before ``event_lo`` (except
+    for the first interval, whose opener is the SPAWN sequence) and the
+    closing marker right at ``event_hi``. Shared by the in-process
+    governor and the serve replay client, so both feed the session the
+    same epoch slices.
+    """
+    lo = max(0, record.event_lo - 1)
+    hi = min(len(trace.events), record.event_hi + 1)
+    return extract_epochs(trace.events[lo:hi])
+
+
+class EnergyManagerSession:
+    """Step-by-step quantum decision engine of the energy manager.
+
+    Holds all cross-quantum state — hold-off countdown, slack-banking
+    accumulators, the decision log — and consumes one
+    ``(IntervalRecord, epochs)`` pair per :meth:`step` call. It never
+    touches a trace, so a remote caller (the ``govern`` endpoint of
+    :mod:`repro.serve`) can drive it from serialized interval payloads
+    and obtain the byte-identical decision sequence of an in-process
+    :class:`EnergyManager` run.
     """
 
     def __init__(
@@ -113,16 +141,15 @@ class EnergyManager:
         self._elapsed_ns = 0.0
         self._elapsed_at_max_ns = 0.0
 
-    def __call__(
-        self, record: IntervalRecord, trace: SimulationTrace
+    def step(
+        self, record: IntervalRecord, epochs: Sequence[Epoch]
     ) -> Optional[float]:
-        """Governor hook: return the next quantum's frequency (or None)."""
+        """One quantum decision: the next frequency, or None (keep current)."""
         self._since_change += 1
         if self._since_change < self.config.hold_off:
             return None
         if record.busy_core_ns < self.config.min_busy_ns:
             return None
-        epochs = self._interval_epochs(record, trace)
         if not epochs:
             return None
         base = record.freq_ghz
@@ -204,13 +231,19 @@ class EnergyManager:
         banked = threshold + (threshold - achieved)
         return min(max(banked, 0.0), 2.0 * threshold)
 
-    def _interval_epochs(self, record: IntervalRecord, trace: SimulationTrace):
-        """Epochs of one interval, including its boundary markers.
 
-        The opening INTERVAL marker sits just before ``event_lo`` (except
-        for the first interval, whose opener is the SPAWN sequence) and the
-        closing marker right at ``event_hi``.
-        """
-        lo = max(0, record.event_lo - 1)
-        hi = min(len(trace.events), record.event_hi + 1)
-        return extract_epochs(trace.events[lo:hi])
+class EnergyManager(EnergyManagerSession):
+    """DVFS governor: minimum-energy frequency within a performance bound.
+
+    Instances are callables matching the simulator's governor interface;
+    pass one to :func:`repro.sim.run.simulate_managed`. All decision
+    state and logic live in the :class:`EnergyManagerSession` base; this
+    class only adds the trace coupling (slicing each interval's epochs
+    out of the live trace).
+    """
+
+    def __call__(
+        self, record: IntervalRecord, trace: SimulationTrace
+    ) -> Optional[float]:
+        """Governor hook: return the next quantum's frequency (or None)."""
+        return self.step(record, interval_epochs(record, trace))

@@ -34,6 +34,7 @@ from repro.experiments import (
     fig7,
     sensitivity,
     sequential,
+    serve_replay,
     table1,
     table2,
 )
@@ -53,12 +54,13 @@ _EXPERIMENTS = {
     "fig4": fig4,
     "fig6": fig6,
     "fig7": fig7,
+    "serve": serve_replay,
 }
 
 #: Order that maximizes ground-truth cache reuse.
 _DEFAULT_ORDER = (
     "table2", "table1", "sequential", "fig1", "fig3", "sensitivity",
-    "fig4", "fig6", "fig7",
+    "fig4", "fig6", "fig7", "serve",
 )
 
 

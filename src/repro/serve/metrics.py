@@ -1,0 +1,178 @@
+"""Observability surface of the prediction service.
+
+Plain counters and fixed-bucket histograms — no third-party client
+library, no locks (the server is single-threaded asyncio; the bench tool
+reads snapshots over the wire). Latencies land in logarithmic buckets so
+p50/p99 estimates stay meaningful from microseconds to seconds, and batch
+sizes in linear buckets up to the configured maximum.
+
+Everything is exported two ways:
+
+* the ``stats`` request returns :meth:`MetricsRegistry.snapshot`;
+* the server periodically emits one structured log line per interval
+  (:meth:`MetricsRegistry.log_line`) with the deltas since the last one.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation.
+
+    ``bounds`` are inclusive upper bounds of each bucket; one overflow
+    bucket is appended. Quantiles are estimated as the upper bound of the
+    bucket containing the requested rank (the overflow bucket reports the
+    largest observed value).
+    """
+
+    def __init__(self, bounds: List[float]) -> None:
+        self.bounds = list(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.total += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 if empty)."""
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly dump: bounds, counts, total/sum/max, p50/p99."""
+        return {
+            "bounds": self.bounds,
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+def latency_histogram() -> Histogram:
+    """Log-spaced latency buckets from 50 us to ~13 s (seconds)."""
+    bounds, bound = [], 50e-6
+    while bound < 16.0:
+        bounds.append(bound)
+        bound *= 2.0
+    return Histogram(bounds)
+
+
+def batch_histogram(max_batch: int) -> Histogram:
+    """Linear batch-size buckets 1..max_batch."""
+    return Histogram([float(i) for i in range(1, max_batch + 1)])
+
+
+class EndpointMetrics:
+    """Requests, errors and latency of one request kind."""
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors: Dict[str, int] = {}
+        self.latency = latency_histogram()
+
+    def observe(self, seconds: float, error_code: Optional[str] = None) -> None:
+        """Record one handled request (and its error code, if any)."""
+        self.requests += 1
+        self.latency.observe(seconds)
+        if error_code is not None:
+            self.errors[error_code] = self.errors.get(error_code, 0) + 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "errors": dict(self.errors),
+            "latency_s": self.latency.snapshot(),
+        }
+
+
+class MetricsRegistry:
+    """All metrics of one server instance."""
+
+    def __init__(self, max_batch: int) -> None:
+        self.started_at = time.time()
+        self.endpoints: Dict[str, EndpointMetrics] = {}
+        self.batch_sizes = batch_histogram(max_batch)
+        self.connections_opened = 0
+        self.connections_active = 0
+        self.frames_rejected = 0
+        self.overloaded = 0
+        self.sessions_opened = 0
+        self.sessions_active = 0
+        self._last_log = dict(self._totals(), at=self.started_at)
+
+    def endpoint(self, kind: str) -> EndpointMetrics:
+        """Metrics bucket of one request kind (created on first use)."""
+        metrics = self.endpoints.get(kind)
+        if metrics is None:
+            metrics = EndpointMetrics()
+            self.endpoints[kind] = metrics
+        return metrics
+
+    def _totals(self) -> Dict[str, float]:
+        return {
+            "requests": sum(e.requests for e in self.endpoints.values()),
+            "errors": sum(
+                sum(e.errors.values()) for e in self.endpoints.values()
+            ),
+            "overloaded": self.overloaded,
+            "batches": self.batch_sizes.total,
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``stats`` reply body."""
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "connections": {
+                "opened": self.connections_opened,
+                "active": self.connections_active,
+            },
+            "sessions": {
+                "opened": self.sessions_opened,
+                "active": self.sessions_active,
+            },
+            "frames_rejected": self.frames_rejected,
+            "overloaded": self.overloaded,
+            "batch_size": self.batch_sizes.snapshot(),
+            "endpoints": {
+                kind: metrics.snapshot()
+                for kind, metrics in sorted(self.endpoints.items())
+            },
+        }
+
+    def log_line(self) -> str:
+        """One structured (JSON) log line with deltas since the last one."""
+        now = time.time()
+        totals = self._totals()
+        window = {
+            key: totals[key] - self._last_log[key] for key in totals
+        }
+        window["interval_s"] = round(now - self._last_log["at"], 3)
+        window["connections_active"] = self.connections_active
+        window["sessions_active"] = self.sessions_active
+        self._last_log = dict(totals, at=now)
+        return "repro-serve stats " + json.dumps(window, sort_keys=True)

@@ -1,0 +1,62 @@
+"""Predictor registry: get_predictor lookup and error discipline."""
+
+import pytest
+
+from repro.common.errors import ConfigError, PredictionError
+from repro.core.coop import CoopPredictor
+from repro.core.dep import DepPredictor
+from repro.core.mcrit import MCritPredictor
+from repro.core.predictors import get_predictor, make_predictor, predictor_names
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("M+CRIT", MCritPredictor),
+        ("M+CRIT+BURST", MCritPredictor),
+        ("COOP", CoopPredictor),
+        ("COOP+BURST", CoopPredictor),
+        ("DEP", DepPredictor),
+        ("DEP+BURST", DepPredictor),
+    ],
+)
+def test_registry_builds_every_family(name, cls):
+    predictor = get_predictor(name)
+    assert isinstance(predictor, cls)
+    assert predictor.name == name
+
+
+def test_registry_is_case_and_whitespace_insensitive():
+    assert get_predictor(" dep+burst ").name == "DEP+BURST"
+    assert get_predictor("m+crit").name == "M+CRIT"
+
+
+def test_unknown_name_is_config_error():
+    with pytest.raises(ConfigError) as err:
+        get_predictor("ORACLE")
+    assert "ORACLE" in str(err.value)
+    with pytest.raises(ConfigError):
+        get_predictor("")
+
+
+def test_make_predictor_keeps_prediction_error():
+    # The evaluation pipeline's factory predates the registry and its
+    # callers catch PredictionError; the contract is pinned.
+    with pytest.raises(PredictionError):
+        make_predictor("ORACLE")
+
+
+def test_burst_variants_share_the_base_estimator():
+    plain = get_predictor("DEP")
+    burst = get_predictor("DEP+BURST")
+    assert getattr(burst.estimator, "base_estimator", None) is plain.estimator
+
+
+def test_every_listed_name_resolves():
+    for name in predictor_names():
+        assert get_predictor(name).name == name
+
+
+def test_dep_across_epoch_ctp_flag():
+    assert get_predictor("DEP", across_epoch_ctp=False).across_epoch_ctp is False
+    assert get_predictor("DEP").across_epoch_ctp is True

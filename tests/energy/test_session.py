@@ -1,0 +1,222 @@
+"""EnergyManagerSession: trace-free stepping, banking clamp, min-edp."""
+
+import pytest
+
+from repro.arch.counters import CounterSet
+from repro.arch.specs import haswell_i7_4770k
+from repro.core.epochs import Epoch
+from repro.energy.manager import (
+    EnergyManager,
+    EnergyManagerSession,
+    ManagerConfig,
+    interval_epochs,
+)
+from repro.sim.intervals import IntervalRecord
+from repro.sim.run import simulate_managed
+from tests.util import make_program, memory
+
+
+def memory_bound_program():
+    return make_program([
+        [memory(30_000, cpi=0.5, chains=[300.0] * 40) for _ in range(40)]
+        for _ in range(2)
+    ])
+
+
+def synthetic_quantum(index, freq_ghz=4.0, span_ns=5e6, stall_frac=0.6):
+    """One (record, epochs) pair shaped like a memory-bound quantum."""
+    active = span_ns * 0.9
+    counters = CounterSet(
+        active_ns=active,
+        crit_ns=active * 0.4,
+        leading_ns=active * 0.2,
+        stall_ns=active * stall_frac,
+        sqfull_ns=active * 0.05,
+        insns=int(active),
+        stores=int(active * 0.1),
+    )
+    record = IntervalRecord(
+        index=index,
+        start_ns=index * span_ns,
+        end_ns=(index + 1) * span_ns,
+        freq_ghz=freq_ghz,
+        per_thread={0: counters},
+    )
+    epoch = Epoch(
+        index=0,
+        start_ns=record.start_ns,
+        end_ns=record.end_ns,
+        thread_deltas={0: counters},
+        stall_tid=None,
+        during_gc=False,
+    )
+    return record, [epoch]
+
+
+def test_session_matches_manager_step_for_step():
+    """Stepping records + epoch slices reproduces the in-process log."""
+    spec = haswell_i7_4770k()
+    config = ManagerConfig(tolerable_slowdown=0.10)
+    manager = EnergyManager(spec, config)
+    result = simulate_managed(
+        memory_bound_program(), manager, spec=spec, quantum_ns=2.5e5
+    )
+    session = EnergyManagerSession(spec, config)
+    # The final interval is closed at teardown, after the last quantum
+    # boundary — the live governor never saw it.
+    for record in result.trace.intervals[:-1]:
+        session.step(record, interval_epochs(record, result.trace))
+    assert session.decisions == manager.decisions
+
+
+def test_manager_is_a_session():
+    assert issubclass(EnergyManager, EnergyManagerSession)
+
+
+def test_session_needs_no_trace():
+    spec = haswell_i7_4770k()
+    session = EnergyManagerSession(spec, ManagerConfig(tolerable_slowdown=0.10))
+    record, epochs = synthetic_quantum(0)
+    session.step(record, epochs)
+    assert len(session.decisions) == 1
+
+
+def test_hold_off_skips_quanta_after_a_change():
+    spec = haswell_i7_4770k()
+    session = EnergyManagerSession(
+        spec, ManagerConfig(tolerable_slowdown=0.10, hold_off=3)
+    )
+    record, epochs = synthetic_quantum(0)
+    freq = session.step(record, epochs)
+    assert freq is not None and freq < 4.0  # memory-bound: downclock
+    assert len(session.decisions) == 1
+    # The next hold_off-1 quanta are skipped entirely: no decisions.
+    for i in (1, 2):
+        record_i, epochs_i = synthetic_quantum(i, freq_ghz=freq)
+        assert session.step(record_i, epochs_i) is None
+    assert len(session.decisions) == 1
+    # After the hold-off expires, decisions resume.
+    record_3, epochs_3 = synthetic_quantum(3, freq_ghz=freq)
+    session.step(record_3, epochs_3)
+    assert len(session.decisions) == 2
+
+
+def test_min_busy_skips_idle_tails():
+    spec = haswell_i7_4770k()
+    session = EnergyManagerSession(
+        spec, ManagerConfig(tolerable_slowdown=0.10, min_busy_ns=1e9)
+    )
+    record, epochs = synthetic_quantum(0)
+    assert session.step(record, epochs) is None
+    assert session.decisions == []
+
+
+def test_empty_epochs_skip():
+    spec = haswell_i7_4770k()
+    session = EnergyManagerSession(spec, ManagerConfig(tolerable_slowdown=0.10))
+    record, _ = synthetic_quantum(0)
+    assert session.step(record, []) is None
+    assert session.decisions == []
+
+
+# ----------------------------------------------------------------------
+# Slack banking: budget clamping
+# ----------------------------------------------------------------------
+
+
+def test_banked_bound_never_exceeds_twice_threshold():
+    spec = haswell_i7_4770k()
+    threshold = 0.10
+    session = EnergyManagerSession(
+        spec,
+        ManagerConfig(tolerable_slowdown=threshold, slack_banking=True),
+    )
+    # A long run far under budget (measured == predicted-at-max would be
+    # zero slowdown; make the measured time *shorter* to bank hard).
+    for i in range(20):
+        record, _ = synthetic_quantum(i)
+        bound = session._interval_bound(record, predicted_at_max=record.duration_ns * 2.0)
+        assert 0.0 <= bound <= 2.0 * threshold
+    # And a deep overdraft clamps at zero, never negative.
+    session._elapsed_ns += 1e12
+    record, _ = synthetic_quantum(99)
+    bound = session._interval_bound(record, predicted_at_max=1.0)
+    assert bound == 0.0
+
+
+def test_banked_bound_widens_when_under_budget():
+    spec = haswell_i7_4770k()
+    threshold = 0.10
+    session = EnergyManagerSession(
+        spec,
+        ManagerConfig(tolerable_slowdown=threshold, slack_banking=True),
+    )
+    record, _ = synthetic_quantum(0)
+    # Ran exactly at the predicted-at-max pace: zero achieved slowdown,
+    # so the whole threshold is still banked -> bound is 2x clamped...
+    bound = session._interval_bound(
+        record, predicted_at_max=record.duration_ns
+    )
+    assert bound == pytest.approx(2.0 * threshold)
+
+
+def test_banking_disabled_keeps_plain_threshold():
+    spec = haswell_i7_4770k()
+    session = EnergyManagerSession(
+        spec, ManagerConfig(tolerable_slowdown=0.07, slack_banking=False)
+    )
+    record, _ = synthetic_quantum(0)
+    assert session._interval_bound(record, predicted_at_max=1.0) == 0.07
+
+
+# ----------------------------------------------------------------------
+# min-edp objective
+# ----------------------------------------------------------------------
+
+
+def test_min_edp_stays_within_bound_and_interacts_with_hold_off():
+    spec = haswell_i7_4770k()
+    config = ManagerConfig(
+        tolerable_slowdown=0.15, objective="min-edp", hold_off=2
+    )
+    session = EnergyManagerSession(spec, config)
+    freq = 4.0
+    decided_at = []
+    for i in range(8):
+        record, epochs = synthetic_quantum(i, freq_ghz=freq)
+        chosen = session.step(record, epochs)
+        if session.decisions and (
+            not decided_at or session.decisions[-1].interval_index != decided_at[-1]
+        ):
+            decided_at.append(session.decisions[-1].interval_index)
+        if chosen is not None:
+            freq = chosen
+    assert session.decisions
+    for decision in session.decisions:
+        assert decision.predicted_slowdown <= 0.15 + 1e-9
+    # Hold-off: after any frequency change, the next quantum makes no
+    # decision, so consecutive decision indices differ by >= 2 whenever
+    # the earlier one changed frequency.
+    changes = {
+        d.interval_index
+        for d in session.decisions
+        if d.chosen_freq_ghz != d.base_freq_ghz
+    }
+    for earlier, later in zip(decided_at, decided_at[1:]):
+        if earlier in changes:
+            assert later - earlier >= 2
+
+
+def test_min_edp_chooses_at_least_min_energy_frequency():
+    spec = haswell_i7_4770k()
+    record, epochs = synthetic_quantum(0)
+
+    def chosen(objective):
+        session = EnergyManagerSession(
+            spec,
+            ManagerConfig(tolerable_slowdown=0.15, objective=objective),
+        )
+        session.step(record, epochs)
+        return session.decisions[0].chosen_freq_ghz
+
+    assert chosen("min-edp") >= chosen("min-energy")

@@ -1,0 +1,241 @@
+"""Load generator for the online prediction service.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serve.py                  # defaults
+    PYTHONPATH=src python tools/bench_serve.py --clients 16 --duration 5
+    PYTHONPATH=src python tools/bench_serve.py --check BENCH_serve.json
+
+Stands up a real server in-process (unix socket, batching enabled) and
+hammers the ``predict`` endpoint from N closed-loop client threads, each
+on its own connection so the batching window actually coalesces
+concurrent requests. Emits ``BENCH_serve.json`` with requests/sec,
+client-side p50/p99 latency and the server's batch-size histogram (read
+over the wire via ``stats``).
+
+With ``--check BASELINE``, compares a fresh run's requests/sec against
+the committed baseline and exits non-zero on a >50% regression — the CI
+serve-smoke gate. ``--min-rps`` is an absolute floor (default 1000 with
+``--check``, otherwise off).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.arch.counters import CounterSet  # noqa: E402
+from repro.core.epochs import Epoch  # noqa: E402
+from repro.serve.background import BackgroundServer  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.server import ServeConfig  # noqa: E402
+
+#: CI fails when requests/sec drops below this fraction of the baseline.
+REGRESSION_FLOOR = 0.50
+
+
+def payload_epochs(n_epochs: int = 8, n_threads: int = 4):
+    """A deterministic, realistically-shaped predict payload."""
+    epochs = []
+    t = 0.0
+    for i in range(n_epochs):
+        span = 200_000.0 + 25_000.0 * (i % 3)
+        deltas = {}
+        for tid in range(n_threads):
+            active = span * (0.5 + 0.1 * ((i + tid) % 4))
+            deltas[tid] = CounterSet(
+                active_ns=active,
+                crit_ns=active * 0.35,
+                leading_ns=active * 0.20,
+                stall_ns=active * 0.30,
+                sqfull_ns=active * 0.05,
+                insns=int(active * 1.5),
+                stores=int(active * 0.2),
+            )
+        epochs.append(
+            Epoch(
+                index=i,
+                start_ns=t,
+                end_ns=t + span,
+                thread_deltas=deltas,
+                stall_tid=(i % n_threads) if i % 2 else None,
+                during_gc=False,
+            )
+        )
+        t += span
+    return epochs
+
+
+def _worker(socket_path, epochs, predictor, stop_at, latencies, errors):
+    from repro.serve import protocol
+
+    client = ServeClient.connect(socket_path=socket_path)
+    # Pre-serialize the payload once: a load generator measures the
+    # server, not the client's per-request JSON encoding.
+    payload = {
+        "predictor": predictor,
+        "across_epoch_ctp": True,
+        "base_freq_ghz": 1.0,
+        "target_freqs_ghz": [2.0, 3.0, 4.0],
+        "epochs": [protocol.epoch_to_wire(e) for e in epochs],
+    }
+    try:
+        while time.perf_counter() < stop_at:
+            started = time.perf_counter()
+            try:
+                client.request("predict", **payload)
+            except Exception:
+                errors.append(1)
+                continue
+            latencies.append(time.perf_counter() - started)
+    finally:
+        client.close()
+
+
+def _quantile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[rank]
+
+
+def run_bench(args) -> dict:
+    """Run the load; return the BENCH_serve payload."""
+    config = dict(
+        clients=args.clients,
+        duration_s=args.duration,
+        predictor=args.predictor,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        epochs_per_request=args.epochs,
+        scale=float(os.environ.get("REPRO_SCALE", "1.0")),
+    )
+    epochs = payload_epochs(n_epochs=args.epochs)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmp:
+        socket_path = os.path.join(tmp, "serve.sock")
+        serve_config = ServeConfig(
+            socket_path=socket_path,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1000.0,
+        )
+        with BackgroundServer(serve_config):
+            # Warm up the predictor/vectorizer caches outside the window.
+            with ServeClient.connect(socket_path=socket_path) as warm:
+                for _ in range(5):
+                    warm.predict(epochs, 1.0, predictor=args.predictor)
+            latencies: list = []
+            errors: list = []
+            stop_at = time.perf_counter() + args.duration
+            started = time.perf_counter()
+            threads = [
+                threading.Thread(
+                    target=_worker,
+                    args=(socket_path, epochs, args.predictor, stop_at,
+                          latencies, errors),
+                    daemon=True,
+                )
+                for _ in range(args.clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            with ServeClient.connect(socket_path=socket_path) as reader:
+                stats = reader.stats()
+    latencies.sort()
+    requests = len(latencies)
+    return {
+        "benchmark": "serve_predict",
+        "config": config,
+        "elapsed_s": round(elapsed, 3),
+        "requests": requests,
+        "errors": len(errors),
+        "req_per_s": round(requests / elapsed, 1) if elapsed else 0.0,
+        "latency_ms": {
+            "p50": round(_quantile(latencies, 0.50) * 1e3, 3),
+            "p99": round(_quantile(latencies, 0.99) * 1e3, 3),
+            "mean": round(sum(latencies) / requests * 1e3, 3)
+            if requests else 0.0,
+        },
+        "batch_size": stats["batch_size"],
+        "server_overloaded": stats["overloaded"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop client connections")
+    parser.add_argument("--duration", type=float, default=3.0,
+                        help="measurement window in seconds")
+    parser.add_argument("--predictor", default="DEP+BURST")
+    parser.add_argument("--epochs", type=int, default=8,
+                        help="epochs per predict request")
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-delay-ms", type=float, default=1.0)
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path")
+    parser.add_argument("--min-rps", type=float, default=None,
+                        help="fail if requests/sec falls below this")
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a committed BENCH_serve.json; exit non-zero "
+        "on a >50%% regression (implies --min-rps 1000)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_bench(args)
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"serve bench: {payload['requests']} requests in "
+        f"{payload['elapsed_s']}s -> {payload['req_per_s']} req/s, "
+        f"p50 {payload['latency_ms']['p50']}ms, "
+        f"p99 {payload['latency_ms']['p99']}ms, "
+        f"mean batch "
+        f"{payload['batch_size']['sum'] / max(1, payload['batch_size']['count']):.1f}"
+    )
+    print(f"wrote {out}")
+
+    min_rps = args.min_rps
+    if args.check is not None:
+        baseline = json.loads(Path(args.check).read_text())
+        floor = REGRESSION_FLOOR * baseline["req_per_s"]
+        if min_rps is None:
+            min_rps = 1000.0
+        if payload["req_per_s"] < floor:
+            print(
+                f"REGRESSION: {payload['req_per_s']} req/s is below "
+                f"{REGRESSION_FLOOR:.0%} of baseline "
+                f"{baseline['req_per_s']} req/s",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"baseline check ok: {payload['req_per_s']} req/s vs "
+            f"baseline {baseline['req_per_s']} (floor {floor:.0f})"
+        )
+    if min_rps is not None and payload["req_per_s"] < min_rps:
+        print(
+            f"FAIL: {payload['req_per_s']} req/s is below the "
+            f"{min_rps:.0f} req/s floor",
+            file=sys.stderr,
+        )
+        return 1
+    if payload["errors"]:
+        print(f"FAIL: {payload['errors']} request errors", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
