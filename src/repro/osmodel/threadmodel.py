@@ -175,8 +175,16 @@ class SimThread:
             and self.segment_wall_ns
             and self.segment_counters is not None
         ):
-            fraction = (now_ns - self.segment_start_ns) / self.segment_wall_ns
-            fraction = min(max(fraction, 0.0), 1.0)
+            if now_ns >= self.segment_start_ns + self.segment_wall_ns:
+                # A segment observed exactly at its end boundary must
+                # interpolate at fraction 1.0 — (now - start) / wall can
+                # land one ulp below it, which would drop an instruction
+                # from the int-truncated counters and make the snapshot
+                # depend on event-queue tie order at that instant.
+                fraction = 1.0
+            else:
+                fraction = (now_ns - self.segment_start_ns) / self.segment_wall_ns
+                fraction = min(max(fraction, 0.0), 1.0)
             partial = CounterSet(
                 active_ns=self.segment_counters.active_ns * fraction,
                 crit_ns=self.segment_counters.crit_ns * fraction,

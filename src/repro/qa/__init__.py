@@ -1,0 +1,35 @@
+"""Generative QA: fuzzing, invariants and differential harnesses.
+
+The repo keeps several independently-optimized implementations of the
+same semantics — the classic and fast DES engines, the scalar and
+vectorized predictor paths, the in-process and served governors. Pinned
+benchmarks prove parity on a handful of points; this package turns the
+paper's structural claims into an always-on generative gate:
+
+* :mod:`repro.qa.fuzzer` — seeded generator of random-but-valid
+  synthetic workloads (thread counts, epoch shapes, futex patterns,
+  store-burst density, GC pressure);
+* :mod:`repro.qa.invariants` — named, composable :class:`Invariant`
+  objects over traces, predictors and governor sessions;
+* :mod:`repro.qa.differential` — differential invariants asserting the
+  redundant implementations byte-identical;
+* :mod:`repro.qa.shrinker` — greedy minimizer for failing workloads;
+* :mod:`repro.qa.artifacts` — replayable repro artifacts (seed + JSON
+  program) dumped on failure;
+* :mod:`repro.qa.runner` / :mod:`repro.qa.cli` — the ``repro-qa``
+  orchestration (``run --seeds N``, ``replay``, ``list-invariants``).
+"""
+
+from repro.qa.fuzzer import FuzzCase, fuzz_case
+from repro.qa.invariants import Invariant, get_invariant, invariant_names
+from repro.qa.runner import QaReport, run_qa
+
+__all__ = [
+    "FuzzCase",
+    "fuzz_case",
+    "Invariant",
+    "get_invariant",
+    "invariant_names",
+    "QaReport",
+    "run_qa",
+]

@@ -1,0 +1,105 @@
+"""Replayable repro artifacts: what a failing QA run leaves behind.
+
+An artifact is one JSON file holding everything needed to reproduce a
+failure offline: the fuzz seed, the *shrunk* case (full workload config
+plus simulation parameters), the pre-shrink case, the failing invariant
+names with their recorded violations, and the shrink delta. ``repro-qa
+replay <artifact>`` re-evaluates the shrunk case from the file alone —
+no RNG involved — so a failure found in CI reproduces on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.common.errors import ConfigError
+from repro.qa.fuzzer import FuzzCase, case_from_dict, case_to_dict
+
+ARTIFACT_FORMAT_VERSION = 1
+
+_PathLike = Union[str, Path]
+
+
+@dataclass
+class Failure:
+    """One invariant's recorded violations on one case."""
+
+    invariant: str
+    violations: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ReproArtifact:
+    """A shrunk, replayable failure record."""
+
+    case: FuzzCase
+    failures: List[Failure]
+    original: Optional[FuzzCase] = None
+    shrink_delta: List[str] = field(default_factory=list)
+
+    @property
+    def seed(self) -> int:
+        return self.case.seed
+
+    def failing_names(self) -> List[str]:
+        return [failure.invariant for failure in self.failures]
+
+
+def artifact_to_dict(artifact: ReproArtifact) -> Dict:
+    payload = {
+        "format_version": ARTIFACT_FORMAT_VERSION,
+        "kind": "repro-qa-artifact",
+        "seed": artifact.seed,
+        "failures": [
+            {"invariant": f.invariant, "violations": list(f.violations)}
+            for f in artifact.failures
+        ],
+        "case": case_to_dict(artifact.case),
+        "shrink_delta": list(artifact.shrink_delta),
+    }
+    if artifact.original is not None:
+        payload["original_case"] = case_to_dict(artifact.original)
+    return payload
+
+
+def artifact_from_dict(payload: Dict) -> ReproArtifact:
+    version = payload.get("format_version")
+    if payload.get("kind") != "repro-qa-artifact" or version != ARTIFACT_FORMAT_VERSION:
+        raise ConfigError(
+            f"not a v{ARTIFACT_FORMAT_VERSION} repro-qa artifact "
+            f"(kind={payload.get('kind')!r}, format={version!r})"
+        )
+    original = payload.get("original_case")
+    return ReproArtifact(
+        case=case_from_dict(payload["case"]),
+        failures=[
+            Failure(invariant=f["invariant"], violations=list(f["violations"]))
+            for f in payload.get("failures", [])
+        ],
+        original=case_from_dict(original) if original else None,
+        shrink_delta=list(payload.get("shrink_delta", [])),
+    )
+
+
+def save_artifact(artifact: ReproArtifact, directory: _PathLike) -> Path:
+    """Write the artifact into ``directory``; return its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"qa-seed-{artifact.seed}.json"
+    path.write_text(
+        json.dumps(artifact_to_dict(artifact), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_artifact(path: _PathLike) -> ReproArtifact:
+    """Read an artifact written by :func:`save_artifact`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read artifact {path}: {exc}") from exc
+    return artifact_from_dict(payload)

@@ -1,0 +1,240 @@
+"""Differential invariants: redundant implementations must agree exactly.
+
+Three pairs of independently-optimized paths claim bit-identical
+semantics; each gets a differential invariant that executes the fuzzed
+workload through both sides and compares *bytes*, not approximations:
+
+* classic vs. fast DES engines — serialized traces and managed-run
+  decision logs;
+* scalar vs. vectorized predictor evaluation — per-target predictions
+  from :func:`repro.core.vectorized.evaluate_predict_jobs` against the
+  scalar reference;
+* in-process vs. served governors and predictors — a live
+  :mod:`repro.serve` server replayed over the NDJSON wire.
+
+The serve pair needs a running server: :class:`ServeHarness` stands one
+up (unix socket when the platform has ``AF_UNIX``, loopback TCP
+otherwise) and hands each :class:`~repro.qa.context.CaseContext` a
+connected client. Contexts without a client report those invariants as
+skipped rather than failed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import tempfile
+from typing import List, Optional
+
+from repro.core.predictors import make_predictor, predictor_names
+from repro.core.vectorized import PredictJob, evaluate_predict_jobs, scalar_results
+from repro.qa.context import CaseContext
+from repro.qa.invariants import register
+from repro.sim.serialize import trace_to_dict
+
+#: Message differential checks emit when the serve side is unavailable.
+SERVE_SKIPPED = "serve differential skipped: no live server in this context"
+
+
+def _trace_bytes(trace) -> bytes:
+    """Canonical byte encoding of a trace (the parity currency)."""
+    return json.dumps(
+        trace_to_dict(trace), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def _decision_bytes(decisions) -> bytes:
+    from repro.serve import protocol
+    from repro.serve.sessions import decision_to_wire
+
+    return protocol.encode_frame(
+        {"decisions": [decision_to_wire(d) for d in decisions]}
+    )
+
+
+# ----------------------------------------------------------------------
+# Classic vs. fast engines
+# ----------------------------------------------------------------------
+
+
+@register(
+    "diff-engine-trace",
+    "classic and fast DES engines produce byte-identical serialized "
+    "traces at a fixed frequency",
+)
+def _diff_engine_trace(context: CaseContext) -> List[str]:
+    fast = context.result(engine="fast")
+    classic = context.result(engine="classic")
+    violations: List[str] = []
+    if fast.total_ns != classic.total_ns:
+        violations.append(
+            f"total time diverges: fast {fast.total_ns!r} ns vs classic "
+            f"{classic.total_ns!r} ns"
+        )
+    if _trace_bytes(fast.trace) != _trace_bytes(classic.trace):
+        violations.append(
+            "serialized traces differ between the fast and classic engines"
+        )
+    return violations
+
+
+@register(
+    "diff-engine-governor",
+    "a managed run reproduces the identical decision log and trace on "
+    "both DES engines",
+)
+def _diff_engine_governor(context: CaseContext) -> List[str]:
+    fast_trace, fast_decisions = context.managed("fast")
+    classic_trace, classic_decisions = context.managed("classic")
+    violations: List[str] = []
+    if _decision_bytes(fast_decisions) != _decision_bytes(classic_decisions):
+        violations.append(
+            f"manager decisions diverge: {len(fast_decisions)} fast vs "
+            f"{len(classic_decisions)} classic"
+        )
+    if _trace_bytes(fast_trace) != _trace_bytes(classic_trace):
+        violations.append("managed traces differ between engines")
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Scalar vs. vectorized predictors
+# ----------------------------------------------------------------------
+
+
+@register(
+    "diff-predict-vectorized",
+    "the columnar batch evaluator returns bit-identical predictions to "
+    "the scalar DEP path, both CTP policies, with and without BURST",
+)
+def _diff_predict_vectorized(context: CaseContext) -> List[str]:
+    violations: List[str] = []
+    epochs = tuple(context.epochs())
+    base = context.case.base_freq_ghz
+    targets = tuple(context.target_ladder())
+    jobs = [
+        PredictJob(
+            predictor=make_predictor(name, across_epoch_ctp=ctp),
+            epochs=epochs,
+            base_freq_ghz=base,
+            target_freqs_ghz=targets,
+        )
+        for name in ("DEP", "DEP+BURST")
+        for ctp in (True, False)
+    ]
+    vectorized = evaluate_predict_jobs(jobs)
+    for job, batch in zip(jobs, vectorized):
+        scalar = scalar_results(job)
+        if batch != scalar:
+            policy = "across" if job.predictor.across_epoch_ctp else "per"
+            violations.append(
+                f"{job.predictor.name} ({policy}-epoch CTP): vectorized "
+                f"{batch!r} != scalar {scalar!r}"
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# In-process vs. served (over the NDJSON wire)
+# ----------------------------------------------------------------------
+
+
+@register(
+    "diff-serve-predict",
+    "the predict endpoint returns bit-identical results to in-process "
+    "predict_epochs for every predictor (repr-exact float round-trip)",
+)
+def _diff_serve_predict(context: CaseContext) -> List[str]:
+    client = context.serve_client
+    if client is None:
+        return [SERVE_SKIPPED]
+    epochs = context.epochs()
+    base = context.case.base_freq_ghz
+    targets = context.target_ladder()
+    violations: List[str] = []
+    for name in predictor_names():
+        reply = client.predict(
+            epochs, base, predictor=name, target_freqs_ghz=targets
+        )
+        expected = [
+            make_predictor(name).predict_epochs(epochs, base, target)
+            for target in targets
+        ]
+        if reply["predicted_ns"] != expected:
+            violations.append(
+                f"{name}: served {reply['predicted_ns']!r} != in-process "
+                f"{expected!r}"
+            )
+    return violations
+
+
+@register(
+    "diff-serve-governor",
+    "replaying a managed trace through a server-side govern session "
+    "reproduces the in-process decision log byte for byte",
+)
+def _diff_serve_governor(context: CaseContext) -> List[str]:
+    client = context.serve_client
+    if client is None:
+        return [SERVE_SKIPPED]
+    from repro.serve.client import replay_decisions
+
+    trace, local = context.managed("fast")
+    remote = replay_decisions(client, trace, context.case.manager)
+    if _decision_bytes(remote) != _decision_bytes(local):
+        return [
+            f"served decision log ({len(remote)} decisions) differs from "
+            f"the in-process log ({len(local)} decisions)"
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
+# The live server the serve differentials talk to
+# ----------------------------------------------------------------------
+
+
+class ServeHarness:
+    """One background server + client shared across a QA run.
+
+    Prefers a unix socket in a private temporary directory; platforms
+    without ``AF_UNIX`` get loopback TCP on an ephemeral port, so
+    parallel QA runs never collide on an endpoint either way.
+    """
+
+    def __init__(self) -> None:
+        from repro.serve.background import BackgroundServer
+        from repro.serve.server import ServeConfig
+
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if hasattr(socket, "AF_UNIX"):
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-qa-serve-")
+            config = ServeConfig(socket_path=f"{self._tmp.name}/qa.sock")
+        else:
+            config = ServeConfig(host="127.0.0.1", port=0)
+        self.server = BackgroundServer(config)
+        self.server.start()
+        self.client = self._connect()
+
+    def _connect(self):
+        from repro.serve.client import ServeClient
+
+        if self.server.config.socket_path is not None:
+            return ServeClient.connect(socket_path=self.server.config.socket_path)
+        return ServeClient.connect(host="127.0.0.1", port=self.server.tcp_port)
+
+    def close(self) -> None:
+        """Tear down client, server and socket directory (idempotent)."""
+        try:
+            self.client.close()
+        finally:
+            self.server.stop()
+            if self._tmp is not None:
+                self._tmp.cleanup()
+                self._tmp = None
+
+    def __enter__(self) -> "ServeHarness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,160 @@
+"""Seeded workload fuzzer: random-but-valid synthetic programs.
+
+Every fuzz case is fully determined by one integer seed: the seed drives
+a :func:`repro.common.rng.rng_stream` draw over the structural space of
+:class:`~repro.workloads.synthetic.SyntheticWorkloadConfig` — thread
+counts, epoch shapes (barriers, critical sections, serialized
+fractions), futex wait/wake density, store-burst/allocation pressure and
+GC schedule knobs — plus the simulation parameters the invariants need
+(frequency pair, quantum, energy-manager config).
+
+Cases are deliberately tiny (tens of work units) so a QA run evaluates
+dozens of seeds inside a CI time box; structure, not length, is what
+breaks redundant implementations. :func:`case_to_dict` /
+:func:`case_from_dict` give the exact JSON round-trip the replay
+artifacts rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict
+
+from repro.arch.dram import DramConfig
+from repro.arch.specs import MachineSpec, haswell_i7_4770k
+from repro.common.errors import ConfigError
+from repro.common.rng import rng_stream
+from repro.energy.manager import ManagerConfig
+from repro.workloads.program import Program
+from repro.workloads.synthetic import (
+    SyntheticWorkloadConfig,
+    build_synthetic_program,
+)
+
+#: Bump when the case schema changes; artifacts refuse other versions.
+CASE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fuzzed QA scenario: a workload plus how to exercise it."""
+
+    seed: int
+    config: SyntheticWorkloadConfig
+    #: Ground-truth / prediction-base frequency (a spec set point).
+    base_freq_ghz: float
+    #: Cross-frequency partner (a higher spec set point).
+    high_freq_ghz: float
+    #: Scheduling quantum of the managed run.
+    quantum_ns: float
+    #: Energy-manager configuration of the governor invariants.
+    manager: ManagerConfig
+
+    def program(self) -> Program:
+        """The deterministic program this case describes."""
+        return build_synthetic_program(self.config)
+
+    def with_config(self, config: SyntheticWorkloadConfig) -> "FuzzCase":
+        """A copy with the workload swapped (the shrinker's move)."""
+        return replace(self, config=config)
+
+
+def fuzz_case(seed: int, spec: MachineSpec = None) -> FuzzCase:
+    """Generate the deterministic :class:`FuzzCase` of ``seed``."""
+    spec = spec or haswell_i7_4770k()
+    rng = rng_stream(seed, "qa", "case")
+    n_threads = int(rng.integers(1, spec.n_cores + 1))
+    multi = n_threads > 1
+    config = SyntheticWorkloadConfig(
+        name=f"qa-seed-{seed}",
+        seed=int(rng.integers(0, 2 ** 31)),
+        n_threads=n_threads,
+        n_units=int(rng.integers(12, 49)),
+        unit_insns=int(rng.integers(30_000, 120_000)),
+        unit_insns_cv=float(rng.uniform(0.0, 0.6)),
+        cpi=float(rng.uniform(0.4, 0.8)),
+        clusters_per_kinsn=float(rng.uniform(0.0, 2.0)),
+        chain_depth_mean=float(rng.uniform(1.0, 3.0)),
+        chain_locality=float(rng.uniform(0.0, 0.9)),
+        # Allocation drives zero-init store bursts and the GC schedule;
+        # ~1 in 4 cases turn it off entirely to cover GC-free paths.
+        alloc_bytes_per_unit=(
+            0 if rng.random() < 0.25 else int(rng.integers(64_000, 512_000))
+        ),
+        alloc_every=int(rng.integers(1, 5)),
+        cs_probability=float(rng.uniform(0.0, 0.3)),
+        cs_insns=int(rng.integers(2_000, 10_000)),
+        n_locks=int(rng.integers(1, 5)),
+        barrier_period=(
+            int(rng.integers(2, 7)) if multi and rng.random() < 0.5 else 0
+        ),
+        thread_imbalance=float(rng.uniform(0.0, 0.5)) if multi else 0.0,
+        memory_skew=float(rng.uniform(0.0, 0.8)) if multi else 0.0,
+        phase_amplitude=float(rng.uniform(0.0, 0.5)),
+        phase_periods=float(rng.uniform(2.0, 8.0)),
+        serialized_fraction=float(rng.uniform(0.0, 0.3)),
+        heap_mb=int(rng.integers(24, 64)),
+        nursery_mb=int(rng.integers(2, 6)),
+        survival_rate=float(rng.uniform(0.0, 0.5)),
+        tags={"origin": "repro-qa"},
+    )
+    freqs = spec.frequencies()
+    base_index = int(rng.integers(0, len(freqs) // 2))
+    high_index = int(rng.integers(len(freqs) // 2, len(freqs)))
+    manager = ManagerConfig(
+        tolerable_slowdown=float(rng.uniform(0.02, 0.2)),
+        hold_off=int(rng.integers(1, 4)),
+        slack_banking=bool(rng.random() < 0.5),
+        objective="min-edp" if rng.random() < 0.25 else "min-energy",
+    )
+    return FuzzCase(
+        seed=seed,
+        config=config,
+        base_freq_ghz=freqs[base_index],
+        high_freq_ghz=freqs[high_index],
+        quantum_ns=float(rng.choice([1.0e5, 2.0e5, 5.0e5])),
+        manager=manager,
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip (the replay artifact's payload)
+# ----------------------------------------------------------------------
+
+
+def case_to_dict(case: FuzzCase) -> Dict[str, Any]:
+    """Serialize a case to a JSON-compatible dict (exact round-trip)."""
+    return {
+        "format_version": CASE_FORMAT_VERSION,
+        "seed": case.seed,
+        "config": asdict(case.config),
+        "base_freq_ghz": case.base_freq_ghz,
+        "high_freq_ghz": case.high_freq_ghz,
+        "quantum_ns": case.quantum_ns,
+        "manager": asdict(case.manager),
+    }
+
+
+def case_from_dict(payload: Dict[str, Any]) -> FuzzCase:
+    """Rebuild a case from :func:`case_to_dict` output."""
+    version = payload.get("format_version")
+    if version != CASE_FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported QA case format {version!r} "
+            f"(this build reads {CASE_FORMAT_VERSION})"
+        )
+    config_raw = dict(payload["config"])
+    config_raw["dram"] = DramConfig(**config_raw.pop("dram"))
+    try:
+        config = SyntheticWorkloadConfig(**config_raw)
+        manager = ManagerConfig(**payload["manager"])
+        return FuzzCase(
+            seed=int(payload["seed"]),
+            config=config,
+            base_freq_ghz=float(payload["base_freq_ghz"]),
+            high_freq_ghz=float(payload["high_freq_ghz"]),
+            quantum_ns=float(payload["quantum_ns"]),
+            manager=manager,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed QA case payload: {exc}") from exc

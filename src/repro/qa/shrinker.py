@@ -1,0 +1,108 @@
+"""Greedy workload minimizer for failing fuzz cases.
+
+A failing seed is only as useful as it is small: the shrinker walks a
+fixed set of structure-removing transformations — halve the unit count,
+drop threads, switch off one feature at a time (barriers, critical
+sections, serialization, phases, skew, allocation, memory traffic),
+shorten units — and greedily accepts any transformation after which the
+case *still fails one of the originally-failing invariants*. The loop
+repeats until no transformation helps or the evaluation budget runs out,
+so shrinking is deterministic and bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Sequence, Set
+
+from repro.qa.fuzzer import FuzzCase
+from repro.workloads.synthetic import SyntheticWorkloadConfig
+
+#: Hard cap on candidate evaluations per shrink (each costs simulations).
+MAX_EVALUATIONS = 60
+
+#: evaluate(case) -> names of failing invariants (empty = passes).
+Evaluator = Callable[[FuzzCase], Set[str]]
+
+
+def _candidates(config: SyntheticWorkloadConfig) -> Iterator[SyntheticWorkloadConfig]:
+    """Structure-removing neighbours of ``config``, most aggressive first."""
+    if config.n_units > 2:
+        yield replace(config, n_units=max(2, config.n_units // 2))
+    if config.n_threads > 1:
+        yield replace(
+            config,
+            n_threads=max(1, config.n_threads // 2),
+            # Single-thread configs cannot keep multi-thread-only knobs.
+            barrier_period=config.barrier_period if config.n_threads // 2 > 1 else 0,
+        )
+    for feature, off in (
+        ("barrier_period", 0),
+        ("cs_probability", 0.0),
+        ("serialized_fraction", 0.0),
+        ("phase_amplitude", 0.0),
+        ("memory_skew", 0.0),
+        ("thread_imbalance", 0.0),
+        ("alloc_bytes_per_unit", 0),
+        ("clusters_per_kinsn", 0.0),
+        ("unit_insns_cv", 0.0),
+    ):
+        if getattr(config, feature) != off:
+            yield replace(config, **{feature: off})
+    if config.unit_insns > 2_000:
+        yield replace(config, unit_insns=max(2_000, config.unit_insns // 2))
+
+
+def shrink(
+    case: FuzzCase,
+    failing: Sequence[str],
+    evaluate: Evaluator,
+    max_evaluations: int = MAX_EVALUATIONS,
+) -> FuzzCase:
+    """Minimize ``case`` while it keeps failing one of ``failing``.
+
+    ``evaluate`` re-runs the invariant set on a candidate and returns the
+    failing names; the shrinker treats a candidate as "still failing"
+    when that set intersects the original failure — shrinking must not
+    wander off to a different bug and declare victory.
+    """
+    target = set(failing)
+    budget = max_evaluations
+    current = case
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for candidate_config in _candidates(current.config):
+            if budget <= 0:
+                break
+            budget -= 1
+            candidate = current.with_config(candidate_config)
+            if target & evaluate(candidate):
+                current = candidate
+                improved = True
+                break  # restart from the most aggressive transformation
+    return current
+
+
+def shrink_summary(original: FuzzCase, shrunk: FuzzCase) -> List[str]:
+    """Human-readable field-by-field delta of a shrink result."""
+    lines: List[str] = []
+    for field in (
+        "n_threads",
+        "n_units",
+        "unit_insns",
+        "unit_insns_cv",
+        "clusters_per_kinsn",
+        "alloc_bytes_per_unit",
+        "cs_probability",
+        "barrier_period",
+        "serialized_fraction",
+        "phase_amplitude",
+        "memory_skew",
+        "thread_imbalance",
+    ):
+        before = getattr(original.config, field)
+        after = getattr(shrunk.config, field)
+        if before != after:
+            lines.append(f"{field}: {before} -> {after}")
+    return lines

@@ -1,0 +1,40 @@
+"""CRIT estimator: reads the dependent-chain critical-path counter."""
+
+from repro.arch.counters import CounterSet
+from repro.core.crit import crit_nonscaling
+from repro.core.model import decompose
+
+
+def test_reads_exactly_the_crit_counter():
+    counters = CounterSet(
+        active_ns=100.0, crit_ns=37.5, leading_ns=20.0,
+        stall_ns=10.0, sqfull_ns=5.0, insns=1000, stores=100,
+    )
+    assert crit_nonscaling(counters) == 37.5
+
+
+def test_zero_counters_mean_zero_nonscaling():
+    assert crit_nonscaling(CounterSet()) == 0.0
+
+
+def test_stores_never_contribute():
+    # CRIT assumes stores are off the critical path: sqfull time is
+    # invisible to it (the omission BURST repairs).
+    busy = CounterSet(active_ns=100.0, crit_ns=30.0, sqfull_ns=50.0)
+    idle = CounterSet(active_ns=100.0, crit_ns=30.0, sqfull_ns=0.0)
+    assert crit_nonscaling(busy) == crit_nonscaling(idle)
+
+
+def test_decompose_splits_wall_time_with_crit():
+    counters = CounterSet(active_ns=100.0, crit_ns=30.0)
+    decomposition = decompose(100.0, counters, crit_nonscaling)
+    assert decomposition.nonscaling_ns == 30.0
+    assert decomposition.scaling_ns == 70.0
+
+
+def test_decompose_clamps_estimate_to_wall_time():
+    # A counter artifact larger than the wall time must not go negative.
+    counters = CounterSet(active_ns=10.0, crit_ns=25.0)
+    decomposition = decompose(10.0, counters, crit_nonscaling)
+    assert decomposition.nonscaling_ns == 10.0
+    assert decomposition.scaling_ns == 0.0

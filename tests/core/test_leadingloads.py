@@ -1,0 +1,39 @@
+"""Leading-loads estimator: charges the cluster leader's full latency."""
+
+from repro.arch.counters import CounterSet
+from repro.core.crit import crit_nonscaling
+from repro.core.leadingloads import leading_loads_nonscaling
+from repro.core.model import decompose
+from repro.core.predictors import _SEQUENTIAL_ESTIMATORS
+
+
+def test_reads_exactly_the_leading_counter():
+    counters = CounterSet(
+        active_ns=100.0, crit_ns=37.5, leading_ns=22.5,
+        stall_ns=10.0, sqfull_ns=5.0, insns=1000, stores=100,
+    )
+    assert leading_loads_nonscaling(counters) == 22.5
+
+
+def test_zero_counters_mean_zero_nonscaling():
+    assert leading_loads_nonscaling(CounterSet()) == 0.0
+
+
+def test_misses_variable_latency_tail_that_crit_sees():
+    # With equal-latency clusters the two agree; variable latencies make
+    # the dependent-chain path longer than the leader alone, so the
+    # substrate records leading_ns <= crit_ns.
+    counters = CounterSet(active_ns=100.0, crit_ns=40.0, leading_ns=28.0)
+    assert leading_loads_nonscaling(counters) <= crit_nonscaling(counters)
+
+
+def test_decompose_round_trip():
+    counters = CounterSet(active_ns=80.0, leading_ns=30.0)
+    decomposition = decompose(80.0, counters, leading_loads_nonscaling)
+    assert decomposition.nonscaling_ns == 30.0
+    # Identity: predicting at the base frequency returns the wall time.
+    assert decomposition.predict_ns(2.0, 2.0) == 80.0
+
+
+def test_registered_as_a_sequential_model():
+    assert _SEQUENTIAL_ESTIMATORS["leading-loads"] is leading_loads_nonscaling

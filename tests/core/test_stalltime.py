@@ -1,0 +1,34 @@
+"""Stall-time estimator: the commit-stall counter, nothing else."""
+
+from repro.arch.counters import CounterSet
+from repro.core.crit import crit_nonscaling
+from repro.core.model import decompose
+from repro.core.stalltime import stall_time_nonscaling
+
+
+def test_reads_exactly_the_stall_counter():
+    counters = CounterSet(
+        active_ns=100.0, crit_ns=37.5, leading_ns=20.0,
+        stall_ns=12.25, sqfull_ns=5.0, insns=1000, stores=100,
+    )
+    assert stall_time_nonscaling(counters) == 12.25
+
+
+def test_zero_counters_mean_zero_nonscaling():
+    assert stall_time_nonscaling(CounterSet()) == 0.0
+
+
+def test_underestimates_relative_to_crit():
+    # Commit stalls only start once independent work runs out, so the
+    # substrate always accumulates stall_ns <= crit_ns for the same
+    # cluster; the model inherits the systematic underestimate.
+    counters = CounterSet(active_ns=100.0, crit_ns=40.0, stall_ns=15.0)
+    assert stall_time_nonscaling(counters) < crit_nonscaling(counters)
+
+
+def test_underestimate_means_faster_high_frequency_prediction():
+    counters = CounterSet(active_ns=100.0, crit_ns=40.0, stall_ns=15.0)
+    stall = decompose(100.0, counters, stall_time_nonscaling)
+    crit = decompose(100.0, counters, crit_nonscaling)
+    # Less non-scaling time => more of the run is assumed to speed up.
+    assert stall.predict_ns(1.0, 4.0) < crit.predict_ns(1.0, 4.0)

@@ -1,0 +1,96 @@
+"""End-to-end ``repro-qa``: run, fail loudly, shrink, replay."""
+
+import json
+
+import numpy as np
+
+from repro.core import vectorized
+from repro.qa.cli import main
+
+
+def test_list_invariants(capsys):
+    assert main(["list-invariants"]) == 0
+    out = capsys.readouterr().out
+    assert "diff-engine-trace" in out
+    assert "self-prediction-identity" in out
+
+
+def test_run_passes_on_healthy_code(tmp_path, capsys):
+    rc = main([
+        "run", "--seeds", "2", "--no-serve",
+        "--invariants", "epoch-conservation,governor-threshold-respect",
+        "--artifacts", str(tmp_path / "artifacts"),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "all invariants hold" in out
+    assert not (tmp_path / "artifacts").exists()  # nothing failed
+
+
+def test_run_respects_time_budget(tmp_path, capsys):
+    rc = main([
+        "run", "--seeds", "500", "--no-serve", "--time-budget", "0",
+        "--invariants", "epoch-conservation",
+        "--artifacts", str(tmp_path / "artifacts"),
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "0 case(s)" in out
+    assert "time-boxed" in out
+
+
+def test_unknown_invariant_is_a_clean_error(capsys):
+    assert main(["run", "--invariants", "bogus"]) == 2
+    assert "bogus" in capsys.readouterr().out
+
+
+def test_replay_of_unreadable_artifact_is_a_clean_error(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["replay", str(missing)]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_fault_injection_end_to_end(tmp_path, capsys):
+    """The acceptance gate: a 1-ulp fault in the vectorized DEP path must
+    fail the run with a shrunk, replayable artifact — and the artifact
+    must stop reproducing once the fault is gone."""
+    artifacts = tmp_path / "artifacts"
+    original = vectorized._vector_estimate
+
+    def perturbed(estimator, cols):
+        return original(estimator, cols) * (1.0 + np.finfo(float).eps)
+
+    vectorized._vector_estimate = perturbed
+    try:
+        rc = main([
+            "run", "--seeds", "1", "--no-serve",
+            "--invariants", "diff-predict-vectorized",
+            "--artifacts", str(artifacts),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1, out
+        assert "diff-predict-vectorized" in out
+        assert "replay with:" in out
+
+        [artifact] = sorted(artifacts.glob("qa-seed-*.json"))
+        payload = json.loads(artifact.read_text())
+        assert payload["kind"] == "repro-qa-artifact"
+        assert payload["failures"][0]["invariant"] == "diff-predict-vectorized"
+        # The shrinker minimized the workload before dumping it.
+        assert "original_case" in payload
+        assert (
+            payload["case"]["config"]["n_units"]
+            < payload["original_case"]["config"]["n_units"]
+        )
+
+        # With the fault still live, the artifact reproduces...
+        rc = main(["replay", str(artifact)])
+        assert rc == 1
+        assert "still failing diff-predict-vectorized" in capsys.readouterr().out
+    finally:
+        vectorized._vector_estimate = original
+
+    # ...and with the fault removed, the same artifact comes back clean.
+    rc = main(["replay", str(artifact)])
+    assert rc == 0
+    assert "no longer fails" in capsys.readouterr().out

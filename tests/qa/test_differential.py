@@ -1,0 +1,86 @@
+"""Differential invariants: agreement on healthy code, loud on faults."""
+
+import numpy as np
+import pytest
+
+from repro.core import vectorized
+from repro.qa.context import CaseContext
+from repro.qa.differential import SERVE_SKIPPED, ServeHarness
+from repro.qa.fuzzer import fuzz_case
+from repro.qa.invariants import get_invariant
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_engine_trace_differential_passes(seed):
+    context = CaseContext(fuzz_case(seed))
+    assert get_invariant("diff-engine-trace").evaluate(context) == []
+
+
+def test_engine_governor_differential_passes():
+    context = CaseContext(fuzz_case(2))
+    assert get_invariant("diff-engine-governor").evaluate(context) == []
+
+
+def test_vectorized_differential_passes():
+    context = CaseContext(fuzz_case(0))
+    assert get_invariant("diff-predict-vectorized").evaluate(context) == []
+
+
+def test_vectorized_differential_catches_one_ulp(monkeypatch):
+    """The acceptance fault: a 1-ulp wobble in the columnar DEP path."""
+    original = vectorized._vector_estimate
+
+    def perturbed(estimator, cols):
+        return original(estimator, cols) * (1.0 + np.finfo(float).eps)
+
+    monkeypatch.setattr(vectorized, "_vector_estimate", perturbed)
+    context = CaseContext(fuzz_case(0))
+    violations = get_invariant("diff-predict-vectorized").evaluate(context)
+    assert violations
+    assert any("vectorized" in v for v in violations)
+
+
+def test_engine_differential_catches_interpolation_drift(monkeypatch):
+    """A fraction-of-a-segment error in one engine must change the bytes."""
+    from repro.osmodel import threadmodel
+
+    original = threadmodel.SimThread.partial_counters
+    state = {"engine": None}
+
+    def biased(self, now_ns):
+        snapshot = original(self, now_ns)
+        if state["engine"] == "classic" and snapshot.insns > 0:
+            snapshot.insns -= 1  # classic path loses one instruction
+        return snapshot
+
+    monkeypatch.setattr(threadmodel.SimThread, "partial_counters", biased)
+
+    class TattlingContext(CaseContext):
+        def result(self, freq_ghz=None, engine="fast"):
+            state["engine"] = engine
+            try:
+                return super().result(freq_ghz, engine)
+            finally:
+                state["engine"] = None
+
+    violations = get_invariant("diff-engine-trace").evaluate(
+        TattlingContext(fuzz_case(0))
+    )
+    assert any("differ" in v for v in violations)
+
+
+def test_serve_differentials_skip_without_client():
+    context = CaseContext(fuzz_case(0))
+    assert get_invariant("diff-serve-predict").evaluate(context) == [
+        SERVE_SKIPPED
+    ]
+    assert get_invariant("diff-serve-governor").evaluate(context) == [
+        SERVE_SKIPPED
+    ]
+
+
+def test_serve_differentials_pass_against_live_harness():
+    with ServeHarness() as harness:
+        context = CaseContext(fuzz_case(1), serve_client=harness.client)
+        assert get_invariant("diff-serve-predict").evaluate(context) == []
+        assert get_invariant("diff-serve-governor").evaluate(context) == []

@@ -1,0 +1,86 @@
+"""The fuzzer: deterministic, valid, exactly round-trippable cases."""
+
+import json
+
+import pytest
+
+from repro.arch.specs import haswell_i7_4770k
+from repro.common.errors import ConfigError
+from repro.qa.fuzzer import (
+    CASE_FORMAT_VERSION,
+    case_from_dict,
+    case_to_dict,
+    fuzz_case,
+)
+
+SPEC = haswell_i7_4770k()
+
+
+def test_same_seed_same_case():
+    assert fuzz_case(7) == fuzz_case(7)
+    assert fuzz_case(7, spec=SPEC) == fuzz_case(7)
+
+
+def test_distinct_seeds_distinct_cases():
+    cases = [fuzz_case(seed) for seed in range(20)]
+    # Workload configs must actually vary: the structural space is huge,
+    # so 20 draws colliding would mean the seed is not reaching the RNG.
+    assert len({repr(case.config) for case in cases}) == 20
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_cases_are_valid(seed):
+    case = fuzz_case(seed)
+    set_points = SPEC.frequencies()
+    assert case.base_freq_ghz in set_points
+    assert case.high_freq_ghz in set_points
+    assert case.base_freq_ghz < case.high_freq_ghz
+    assert case.quantum_ns > 0
+    assert 1 <= case.config.n_threads <= SPEC.n_cores
+    assert 0.0 < case.manager.tolerable_slowdown < 1.0
+    # The config validated itself in __post_init__; the program builds.
+    program = case.program()
+    assert program.threads
+
+
+def test_single_thread_cases_drop_multithread_knobs():
+    singles = [
+        fuzz_case(seed)
+        for seed in range(60)
+        if fuzz_case(seed).config.n_threads == 1
+    ]
+    assert singles, "no single-thread case in 60 seeds"
+    for case in singles:
+        assert case.config.barrier_period == 0
+        assert case.config.thread_imbalance == 0.0
+        assert case.config.memory_skew == 0.0
+
+
+def test_round_trip_is_exact():
+    case = fuzz_case(11)
+    payload = json.loads(json.dumps(case_to_dict(case)))
+    assert case_from_dict(payload) == case
+
+
+def test_with_config_swaps_only_the_workload():
+    case = fuzz_case(3)
+    smaller = case.config.scaled(0.5)
+    swapped = case.with_config(smaller)
+    assert swapped.config == smaller
+    assert swapped.seed == case.seed
+    assert swapped.manager == case.manager
+
+
+def test_rejects_other_format_versions():
+    payload = case_to_dict(fuzz_case(0))
+    payload["format_version"] = CASE_FORMAT_VERSION + 1
+    with pytest.raises(ConfigError):
+        case_from_dict(payload)
+
+
+def test_rejects_malformed_payload():
+    payload = case_to_dict(fuzz_case(0))
+    del payload["config"]["n_threads"]
+    payload["config"]["no_such_knob"] = 1
+    with pytest.raises(ConfigError):
+        case_from_dict(payload)

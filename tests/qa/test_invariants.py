@@ -1,0 +1,174 @@
+"""The invariant registry and the non-differential invariants."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.energy.manager import ManagerDecision
+from repro.qa import invariants as inv_mod
+from repro.qa.context import CaseContext
+from repro.qa.fuzzer import fuzz_case
+from repro.qa.invariants import get_invariant, invariant_names, register
+from repro.qa.runner import evaluate_case, resolve_invariants
+
+PHYSICAL = [
+    "epoch-conservation",
+    "core-capacity",
+    "counter-monotonicity",
+    "gc-balance",
+    "cross-frequency-conservation",
+]
+METAMORPHIC = [
+    "self-prediction-identity",
+    "monotone-frequency-scaling",
+    "burst-dominance",
+    "governor-threshold-respect",
+]
+DIFFERENTIAL = [
+    "diff-engine-trace",
+    "diff-engine-governor",
+    "diff-predict-vectorized",
+    "diff-serve-predict",
+    "diff-serve-governor",
+]
+
+
+def test_registry_is_complete():
+    names = invariant_names()
+    for name in PHYSICAL + METAMORPHIC + DIFFERENTIAL:
+        assert name in names
+    assert len(names) == len(set(names))
+
+
+def test_unknown_invariant_raises_with_choices():
+    with pytest.raises(ConfigError, match="epoch-conservation"):
+        get_invariant("no-such-invariant")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ConfigError, match="twice"):
+        register("epoch-conservation", "dupe")(lambda context: [])
+
+
+def test_descriptions_are_nonempty():
+    for name in invariant_names():
+        assert get_invariant(name).description
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_all_invariants_hold_on_fuzzed_cases(seed):
+    case = fuzz_case(seed)
+    failures, skipped = evaluate_case(
+        case, resolve_invariants(PHYSICAL + METAMORPHIC)
+    )
+    assert failures == []
+    assert skipped == []
+
+
+def test_serve_differentials_skip_without_client():
+    case = fuzz_case(0)
+    failures, skipped = evaluate_case(
+        case, resolve_invariants(["diff-serve-predict", "diff-serve-governor"])
+    )
+    assert failures == []
+    assert sorted(skipped) == ["diff-serve-governor", "diff-serve-predict"]
+
+
+# ----------------------------------------------------------------------
+# Seeded violations: each invariant must actually catch its failure mode
+# ----------------------------------------------------------------------
+
+
+def test_self_prediction_catches_broken_predictor(monkeypatch):
+    case = fuzz_case(1)
+
+    class Broken:
+        def predict_total_ns(self, trace, target, base_freq_ghz=None):
+            return 1.0  # wildly off the measured total
+
+    monkeypatch.setattr(inv_mod, "make_predictor", lambda name, **kw: Broken())
+    violations = get_invariant("self-prediction-identity").evaluate(
+        CaseContext(case)
+    )
+    assert len(violations) == len(inv_mod.predictor_names())
+
+
+def test_monotone_scaling_catches_inverted_predictor(monkeypatch):
+    case = fuzz_case(1)
+
+    class Inverted:
+        def predict_total_ns(self, trace, target, base_freq_ghz=None):
+            return 1000.0 * target  # grows with frequency: unphysical
+
+    monkeypatch.setattr(inv_mod, "make_predictor", lambda name, **kw: Inverted())
+    violations = get_invariant("monotone-frequency-scaling").evaluate(
+        CaseContext(case)
+    )
+    assert violations
+
+
+def test_cross_frequency_catches_slowdown_at_higher_frequency():
+    case = fuzz_case(2)
+    context = CaseContext(case)
+    real = context.result(case.base_freq_ghz)
+    # Doctor the high-frequency result: same trace (so instruction and GC
+    # counts agree) but twice the wall time — a speedup below 1.0.
+    context._results[(case.high_freq_ghz, "fast")] = SimpleNamespace(
+        total_ns=2.0 * real.total_ns, trace=real.trace
+    )
+    violations = get_invariant("cross-frequency-conservation").evaluate(context)
+    assert any("speedup" in v for v in violations)
+
+
+class _TraceProxy:
+    """A trace with overridden GC statistics (delegates everything else)."""
+
+    def __init__(self, trace, **overrides):
+        self._trace = trace
+        self._overrides = overrides
+
+    def __getattr__(self, name):
+        if name in self._overrides:
+            return self._overrides[name]
+        return getattr(self._trace, name)
+
+
+def test_cross_frequency_allows_one_gc_cycle_of_drift():
+    case = fuzz_case(2)
+    context = CaseContext(case)
+    real = context.result(case.base_freq_ghz)
+    drifted = _TraceProxy(real.trace, gc_cycles=real.trace.gc_cycles + 1)
+    context._results[(case.high_freq_ghz, "fast")] = SimpleNamespace(
+        total_ns=real.total_ns, trace=drifted
+    )
+    violations = get_invariant("cross-frequency-conservation").evaluate(context)
+    assert violations == []  # mutator speedup 1.0 is inside the band
+
+
+def test_cross_frequency_rejects_larger_gc_drift():
+    case = fuzz_case(2)
+    context = CaseContext(case)
+    real = context.result(case.base_freq_ghz)
+    drifted = _TraceProxy(real.trace, gc_cycles=real.trace.gc_cycles + 2)
+    context._results[(case.high_freq_ghz, "fast")] = SimpleNamespace(
+        total_ns=real.total_ns, trace=drifted
+    )
+    violations = get_invariant("cross-frequency-conservation").evaluate(context)
+    assert any("GC counts" in v for v in violations)
+
+
+def test_governor_threshold_catches_rogue_decisions():
+    case = fuzz_case(1)
+    context = CaseContext(case)
+    rogue = [
+        # Not a machine set point at all.
+        ManagerDecision(0, case.base_freq_ghz, 3.1415, 0.0),
+        # Valid set point, but the slowdown bound is blown.
+        ManagerDecision(1, case.base_freq_ghz, 1.0, 0.99),
+        # Negative predicted slowdown: non-monotone prediction.
+        ManagerDecision(2, case.base_freq_ghz, 1.0, -0.5),
+    ]
+    context._managed["fast"] = (None, rogue)
+    violations = get_invariant("governor-threshold-respect").evaluate(context)
+    assert len(violations) == 3

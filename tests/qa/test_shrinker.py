@@ -1,0 +1,70 @@
+"""The greedy minimizer: smaller cases, bounded work, no bug-swapping."""
+
+from repro.qa.fuzzer import fuzz_case
+from repro.qa.shrinker import MAX_EVALUATIONS, shrink, shrink_summary
+
+
+def test_shrinks_while_failure_persists():
+    case = fuzz_case(4)
+    assert case.config.n_units > 4
+
+    def fails_when_big(candidate):
+        return {"bug"} if candidate.config.n_units > 4 else set()
+
+    shrunk = shrink(case, ["bug"], fails_when_big)
+    # Halving stops at the first config small enough to pass: one more
+    # halving from there would land at <= 4 units and lose the failure.
+    assert 4 < shrunk.config.n_units <= 9
+    # Feature knobs do not affect this failure, so zeroing them "still
+    # fails" and the shrinker strips them all.
+    assert shrunk.config.cs_probability == 0.0
+    assert shrunk.config.serialized_fraction == 0.0
+    assert shrunk.config.phase_amplitude == 0.0
+
+
+def test_never_accepts_a_different_bug():
+    case = fuzz_case(4)
+
+    def different_bug(candidate):
+        return {"some-other-invariant"}
+
+    shrunk = shrink(case, ["bug"], different_bug)
+    assert shrunk == case
+
+
+def test_respects_evaluation_budget():
+    case = fuzz_case(4)
+    calls = []
+
+    def count(candidate):
+        calls.append(1)
+        return {"bug"}
+
+    shrink(case, ["bug"], count, max_evaluations=7)
+    assert len(calls) == 7
+    shrink(case, ["bug"], count)
+    assert len(calls) <= 7 + MAX_EVALUATIONS
+
+
+def test_shrink_keeps_configs_valid():
+    case = fuzz_case(6)
+
+    def always_fails(candidate):
+        candidate.program()  # raises if the config is structurally invalid
+        return {"bug"}
+
+    shrunk = shrink(case, ["bug"], always_fails)
+    if shrunk.config.n_threads == 1:
+        assert shrunk.config.barrier_period == 0
+
+
+def test_shrink_summary_lists_changed_fields():
+    case = fuzz_case(4)
+
+    def fails_when_big(candidate):
+        return {"bug"} if candidate.config.n_units > 4 else set()
+
+    shrunk = shrink(case, ["bug"], fails_when_big)
+    summary = shrink_summary(case, shrunk)
+    assert any(line.startswith("n_units:") for line in summary)
+    assert shrink_summary(case, case) == []

@@ -1,0 +1,68 @@
+"""The background-thread server wrapper the synchronous callers use."""
+
+import socket
+
+import pytest
+
+from repro.serve.background import BackgroundServer
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig
+
+requires_af_unix = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"),
+    reason="platform has no AF_UNIX sockets",
+)
+
+
+def test_start_serves_and_stop_tears_down():
+    server = BackgroundServer(ServeConfig(host="127.0.0.1", port=0))
+    endpoints = server.start()
+    try:
+        assert endpoints
+        port = server.tcp_port
+        assert port
+        with ServeClient.connect(host="127.0.0.1", port=port) as client:
+            assert client.health()["status"] == "ok"
+    finally:
+        server.stop()
+    # The listening socket is gone after stop().
+    with pytest.raises(OSError):
+        probe = socket.create_connection(("127.0.0.1", port), timeout=0.5)
+        probe.close()
+
+
+def test_double_start_is_rejected():
+    server = BackgroundServer(ServeConfig(host="127.0.0.1", port=0))
+    server.start()
+    try:
+        with pytest.raises(RuntimeError, match="already started"):
+            server.start()
+    finally:
+        server.stop()
+
+
+def test_stop_is_idempotent_and_safe_before_start():
+    server = BackgroundServer(ServeConfig(host="127.0.0.1", port=0))
+    server.stop()  # never started: no-op
+    server.start()
+    server.stop()
+    server.stop()  # second stop: no-op
+    assert server.tcp_port is None or True  # must not raise
+
+
+def test_context_manager_round_trip():
+    config = ServeConfig(host="127.0.0.1", port=0)
+    with BackgroundServer(config) as server:
+        assert server.endpoints
+    # Restartable object semantics are not promised; a fresh instance is.
+    with BackgroundServer(ServeConfig(host="127.0.0.1", port=0)) as server:
+        assert server.tcp_port
+
+
+@requires_af_unix
+def test_unix_socket_endpoint(tmp_path):
+    path = str(tmp_path / "bg.sock")
+    with BackgroundServer(ServeConfig(socket_path=path)) as server:
+        assert any(path in endpoint for endpoint in server.endpoints)
+        with ServeClient.connect(socket_path=path) as client:
+            assert client.health()["status"] == "ok"

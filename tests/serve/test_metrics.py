@@ -1,0 +1,99 @@
+"""Unit tests for the serve observability surface (no server needed)."""
+
+import json
+
+from repro.serve.metrics import (
+    EndpointMetrics,
+    Histogram,
+    MetricsRegistry,
+    batch_histogram,
+    latency_histogram,
+)
+
+
+class TestHistogram:
+    def test_observations_land_in_inclusive_buckets(self):
+        h = Histogram([1.0, 2.0, 4.0])
+        for value in (0.5, 1.0, 3.0, 100.0):
+            h.observe(value)
+        assert h.counts == [2, 0, 1, 1]  # 1.0 is inclusive; 100 overflows
+        assert h.total == 4
+        assert h.sum == 104.5
+        assert h.max == 100.0
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram([1.0]).quantile(0.5) == 0.0
+
+    def test_quantile_reports_bucket_upper_bound(self):
+        h = Histogram([1.0, 2.0, 4.0])
+        for _ in range(99):
+            h.observe(0.5)
+        assert h.quantile(0.50) == 1.0
+        h.observe(3.0)
+        assert h.quantile(0.99) == 1.0
+        assert h.quantile(1.00) == 4.0
+
+    def test_overflow_quantile_reports_observed_max(self):
+        h = Histogram([1.0])
+        h.observe(37.0)
+        assert h.quantile(0.99) == 37.0
+
+    def test_snapshot_is_json_friendly(self):
+        h = Histogram([1.0])
+        h.observe(0.25)
+        snapshot = json.loads(json.dumps(h.snapshot()))
+        assert snapshot["count"] == 1
+        assert snapshot["counts"] == [1, 0]
+        assert snapshot["p50"] == 1.0
+
+    def test_factories(self):
+        latency = latency_histogram()
+        assert latency.bounds[0] == 50e-6
+        assert latency.bounds[-1] < 16.0 <= latency.bounds[-1] * 2
+        batch = batch_histogram(8)
+        assert batch.bounds == [float(i) for i in range(1, 9)]
+
+
+class TestEndpointMetrics:
+    def test_counts_requests_and_errors(self):
+        endpoint = EndpointMetrics()
+        endpoint.observe(0.001)
+        endpoint.observe(0.002, error_code="bad_request")
+        endpoint.observe(0.004, error_code="bad_request")
+        snapshot = endpoint.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["errors"] == {"bad_request": 2}
+        assert snapshot["latency_s"]["count"] == 3
+
+
+class TestMetricsRegistry:
+    def test_endpoint_buckets_are_created_once(self):
+        registry = MetricsRegistry(max_batch=4)
+        assert registry.endpoint("predict") is registry.endpoint("predict")
+        assert registry.endpoint("predict") is not registry.endpoint("stats")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry(max_batch=4)
+        registry.endpoint("predict").observe(0.001)
+        registry.endpoint("predict").observe(0.002, error_code="oops")
+        registry.batch_sizes.observe(2)
+        registry.connections_opened += 1
+        registry.connections_active += 1
+        snapshot = registry.snapshot()
+        assert snapshot["uptime_s"] >= 0.0
+        assert snapshot["connections"] == {"opened": 1, "active": 1}
+        assert snapshot["endpoints"]["predict"]["requests"] == 2
+        assert snapshot["batch_size"]["count"] == 1
+        json.dumps(snapshot)  # the stats reply must serialize
+
+    def test_log_line_reports_deltas_not_totals(self):
+        registry = MetricsRegistry(max_batch=4)
+        registry.endpoint("predict").observe(0.001)
+        first = json.loads(registry.log_line().split("stats ", 1)[1])
+        assert first["requests"] == 1
+        second = json.loads(registry.log_line().split("stats ", 1)[1])
+        assert second["requests"] == 0  # nothing since the previous line
+        registry.endpoint("predict").observe(0.001, error_code="oops")
+        third = json.loads(registry.log_line().split("stats ", 1)[1])
+        assert third["requests"] == 1
+        assert third["errors"] == 1

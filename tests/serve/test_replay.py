@@ -1,5 +1,7 @@
 """Decision parity: govern sessions vs. the in-process energy manager."""
 
+import socket
+
 import pytest
 
 from repro.arch.specs import haswell_i7_4770k
@@ -21,6 +23,8 @@ def memory_bound_program():
 
 @pytest.fixture(scope="module")
 def server(tmp_path_factory):
+    if not hasattr(socket, "AF_UNIX"):
+        pytest.skip("platform has no AF_UNIX sockets")
     path = str(tmp_path_factory.mktemp("serve") / "replay.sock")
     with BackgroundServer(ServeConfig(socket_path=path)) as background:
         yield background

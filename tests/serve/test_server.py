@@ -24,7 +24,7 @@ from repro.serve.client import (
 )
 from repro.serve.server import ServeConfig
 from repro.sim.run import simulate
-from tests.util import lock_pair_program
+from tests.util import lock_pair_program, requires_af_unix
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +35,8 @@ def epochs():
 
 @pytest.fixture()
 def server(tmp_path):
+    if not hasattr(socket, "AF_UNIX"):
+        pytest.skip("platform has no AF_UNIX sockets")
     config = ServeConfig(
         socket_path=str(tmp_path / "serve.sock"),
         host="127.0.0.1",
@@ -242,6 +244,7 @@ def test_mid_request_disconnect_leaves_server_healthy(server, epochs):
 # ----------------------------------------------------------------------
 
 
+@requires_af_unix
 def test_overload_sheds_with_explicit_replies(tmp_path, epochs):
     config = ServeConfig(
         socket_path=str(tmp_path / "overload.sock"),
@@ -275,6 +278,7 @@ def test_overload_sheds_with_explicit_replies(tmp_path, epochs):
             assert client.predict(epochs, 1.0, target_freqs_ghz=[2.0])
 
 
+@requires_af_unix
 def test_slow_reader_never_grows_server_queues(tmp_path, epochs):
     """A client that writes but never reads must not grow server state.
 
@@ -318,6 +322,7 @@ def test_slow_reader_never_grows_server_queues(tmp_path, epochs):
             assert client.health()["status"] == "ok"
 
 
+@requires_af_unix
 def test_session_limit_is_overloaded(tmp_path):
     config = ServeConfig(
         socket_path=str(tmp_path / "sessions.sock"), max_sessions=2
@@ -367,6 +372,7 @@ def test_stats_log_line_is_structured_json(server, epochs):
     assert again["requests"] == 0
 
 
+@requires_af_unix
 def test_socket_file_cleanup(tmp_path):
     path = str(tmp_path / "gone.sock")
     with BackgroundServer(ServeConfig(socket_path=path)):

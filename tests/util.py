@@ -7,9 +7,11 @@ locks, barriers, managed allocation, and timed sleeps.
 
 from __future__ import annotations
 
+import socket
 from typing import List, Optional, Sequence
 
 import numpy as np
+import pytest
 
 from repro.arch.segments import (
     ComputeSegment,
@@ -142,3 +144,14 @@ def sleeping_program(duration_ns: float = 2.0e6) -> Program:
 def random_chains(rng: np.random.Generator, n: int) -> List[float]:
     """Random plausible chain latencies."""
     return list(40.0 + 160.0 * rng.random(n))
+
+
+# ----------------------------------------------------------------------
+# Platform guards
+# ----------------------------------------------------------------------
+
+#: Skip (not error) marker for tests that bind unix-domain sockets.
+requires_af_unix = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"),
+    reason="platform has no AF_UNIX sockets",
+)

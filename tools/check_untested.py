@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""CI lint: no src/repro module silently lacks a unit-test file.
+
+A module ``src/repro/<pkg>/<name>.py`` counts as *tested* when some
+``tests/**/test_<name>.py`` exists (any tests subdirectory: the suite
+mirrors package names loosely — e.g. ``repro.osmodel.futex`` is covered
+by ``tests/osmodel/test_futex.py``). Modules with no matching test file
+must be listed in ``tools/untested_allowlist.txt``; the build fails when
+
+* an unlisted module has no test file (the list grew), or
+* an allowlisted module gained a test file (the entry is stale).
+
+So the allowlist only ever shrinks, and every new module ships either a
+test file or a deliberate, reviewable allowlist entry.
+
+Usage: python tools/check_untested.py [--repo-root PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ALLOWLIST = Path("tools/untested_allowlist.txt")
+
+#: Files that are namespaces, not modules with testable behaviour.
+IGNORED_NAMES = {"__init__.py", "__main__.py"}
+
+
+def modules(repo_root: Path):
+    src = repo_root / "src" / "repro"
+    return sorted(
+        path.relative_to(src).as_posix()
+        for path in src.rglob("*.py")
+        if path.name not in IGNORED_NAMES
+    )
+
+
+def tested_names(repo_root: Path):
+    return {
+        path.name[len("test_"):-len(".py")]
+        for path in (repo_root / "tests").rglob("test_*.py")
+    }
+
+
+def read_allowlist(repo_root: Path):
+    path = repo_root / ALLOWLIST
+    if not path.exists():
+        return set()
+    entries = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            entries.add(line)
+    return entries
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo-root", type=Path,
+        default=Path(__file__).resolve().parent.parent,
+    )
+    args = parser.parse_args(argv)
+    repo_root = args.repo_root
+
+    tested = tested_names(repo_root)
+    allowlist = read_allowlist(repo_root)
+    untested = [
+        module for module in modules(repo_root)
+        if Path(module).stem not in tested
+    ]
+
+    failures = 0
+    for module in untested:
+        if module not in allowlist:
+            print(
+                f"UNTESTED {module}: add tests/**/test_{Path(module).stem}.py "
+                f"or an entry in {ALLOWLIST}"
+            )
+            failures += 1
+    for entry in sorted(allowlist - set(untested)):
+        print(
+            f"STALE ALLOWLIST ENTRY {entry}: a test file exists now; "
+            f"remove it from {ALLOWLIST}"
+        )
+        failures += 1
+
+    if failures:
+        print(f"\n{failures} problem(s); {len(untested)} untested module(s)")
+        return 1
+    print(
+        f"ok: {len(untested)} allowlisted untested module(s), "
+        f"none unaccounted for"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
