@@ -1,0 +1,774 @@
+"""Simulate-once / predict-many: columnar frequency sweeps over epochs.
+
+Every headline artifact — the figure error grids, the static-optimal
+oracle, the energy manager's per-quantum candidate search — evaluates
+predictions at *many* target frequencies from *one* base-frequency
+measurement. The scalar paths re-walk the trace (or the epoch list) once
+per (predictor, target) pair; this module decomposes once and evaluates
+the whole sweep as array kernels:
+
+* :class:`EpochArrays` — the columnar epoch representation: all
+  (epoch, thread) counter deltas flattened into NumPy arrays, extracted
+  directly from :class:`~repro.sim.trace.TraceColumns` without the
+  per-event Python walk of :func:`repro.core.epochs.extract_epochs`
+  (which remains the semantic reference and the fallback);
+* window kernels — DEP (both CTP policies), M+CRIT and COOP evaluated
+  over an epoch window for any set of target frequencies
+  (:func:`sweep_predict_epochs`), the engine behind the energy manager's
+  full-V/f-table quantum sweep and the serve batch path;
+* :class:`TraceSweep` — whole-trace sweeps matching each predictor's
+  ``predict_total_ns`` semantics, sharing one decomposition (epochs,
+  counter timeline, phase split) across every predictor and target.
+
+Bit-compatibility contract (the discipline ``CoreModel.time_batch`` and
+:mod:`repro.core.vectorized` established): results are **bit-identical**
+to the scalar paths because the kernels perform the identical IEEE-754
+operations in the identical order. Only the per-(entry, target)
+multiply-add is vectorized:
+
+    nonscaling = min(max(estimate, 0), wall)          # decompose's clamp
+    predicted  = wall_minus_ns * base / target + ns   # left-to-right
+
+Order-dependent aggregation — Algorithm 1's delta counters, the window
+models' sequential counter summation, COOP's per-phase total — stays
+sequential Python, exactly mirroring the scalar loops. ``np.sum`` /
+``reduceat`` are deliberately never used for those reductions: NumPy's
+pairwise summation reassociates additions and would break byte identity.
+
+Anything the kernels do not recognize (custom predictors, unknown
+estimators, irregular traces) falls back to the scalar code, so results
+never depend on which path ran.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.common.errors import PredictionError
+from repro.arch.counters import CounterSet
+from repro.core.coop import CoopPredictor, split_phases
+from repro.core.crit import crit_nonscaling
+from repro.core.dep import DepPredictor
+from repro.core.epochs import Epoch, extract_epochs
+from repro.core.leadingloads import leading_loads_nonscaling
+from repro.core.mcrit import MCritPredictor, _sum_thread_deltas
+from repro.core.model import NonScalingEstimator
+from repro.core.stalltime import stall_time_nonscaling
+from repro.core.timeline import CounterTimeline
+from repro.sim.trace import EventKind, KIND_ORDER, SimulationTrace
+
+#: Version of the prediction kernels. Bumped whenever a kernel's
+#: numerical behaviour could change; participates in experiment cache
+#: keys so sweep-evaluated results can never alias across kernel
+#: revisions.
+KERNEL_VERSION = 1
+
+#: Base estimators with a columnar equivalent: estimator -> column name.
+_COLUMN_OF: Dict[object, str] = {
+    crit_nonscaling: "crit",
+    stall_time_nonscaling: "stall",
+    leading_loads_nonscaling: "leading",
+}
+
+_GC_START_CODE = KIND_ORDER.index(EventKind.GC_START)
+_GC_END_CODE = KIND_ORDER.index(EventKind.GC_END)
+_FUTEX_WAIT_CODE = KIND_ORDER.index(EventKind.FUTEX_WAIT)
+
+
+def estimator_key(estimator: NonScalingEstimator) -> Optional[str]:
+    """Columnar identity of ``estimator`` (None if not vectorizable).
+
+    Recognizes the three base estimators and their ``with_burst``
+    wrappers (which expose the wrapped function as ``base_estimator``).
+    """
+    base = getattr(estimator, "base_estimator", None)
+    if base is not None:
+        name = _COLUMN_OF.get(base)
+        return f"{name}+burst" if name else None
+    return _COLUMN_OF.get(estimator)
+
+
+def vector_estimate(estimator: NonScalingEstimator, cols) -> np.ndarray:
+    """Columnar non-scaling estimate matching ``estimator`` exactly.
+
+    ``cols`` is anything exposing ``crit``/``leading``/``stall``/
+    ``sqfull`` arrays (an :class:`EpochArrays` or the serve batcher's
+    column store). Raises ``KeyError`` for unrecognized estimators —
+    callers gate on :func:`estimator_key` first.
+    """
+    base = getattr(estimator, "base_estimator", None)
+    if base is not None:
+        return getattr(cols, _COLUMN_OF[base]) + cols.sqfull
+    return getattr(cols, _COLUMN_OF[estimator])
+
+
+def ctp_total(
+    epoch_meta: Iterable[Tuple[Tuple[int, ...], float, Optional[int]]],
+    predicted: List[float],
+    across: bool,
+) -> float:
+    """Sum epoch durations under the per- or across-epoch CTP policy.
+
+    ``epoch_meta`` yields ``(tids, duration_ns, stall_tid)`` per epoch
+    and ``predicted`` holds the per-(epoch, thread) predictions in the
+    same flattened order. Performs the same operations in the same order
+    as :meth:`repro.core.dep.DepPredictor.predict_epoch` — inherently
+    sequential (Algorithm 1's delta counters carry across epochs) but
+    only a handful of floats per epoch.
+    """
+    deltas: Dict[int, float] = {}
+    total = 0.0
+    cursor = 0
+    for tids, duration_ns, stall_tid in epoch_meta:
+        if not tids:
+            total += duration_ns
+            continue
+        values = predicted[cursor : cursor + len(tids)]
+        cursor += len(tids)
+        if not across:
+            total += max(values)
+            continue
+        effective = [a - deltas.get(tid, 0.0) for tid, a in zip(tids, values)]
+        epoch_duration = max(0.0, max(effective))
+        for tid, a in zip(tids, values):
+            deltas[tid] = deltas.get(tid, 0.0) + (epoch_duration - a)
+        if stall_tid is not None:
+            deltas[stall_tid] = 0.0
+        total += epoch_duration
+    return total
+
+
+def ctp_total_multi(
+    epoch_meta: Iterable[Tuple[Tuple[int, ...], float, Optional[int]]],
+    predicted: np.ndarray,
+    across: bool,
+) -> np.ndarray:
+    """:func:`ctp_total` for every target lane at once.
+
+    ``predicted`` has shape ``(n_entries, n_targets)``; each column is
+    one target's flattened per-(epoch, thread) predictions. The epoch
+    loop stays sequential (Algorithm 1 carries state across epochs) but
+    every target advances together: per-lane operations are the exact
+    scalar operations — elementwise subtract, a first-to-last
+    ``np.maximum`` fold replacing ``max``, elementwise accumulate — so
+    each lane is bit-identical to a scalar :func:`ctp_total` run at that
+    target. (``max`` folds commute for the finite, non-negative-zero
+    values these kernels produce; nothing here reassociates an add.)
+    """
+    n_targets = predicted.shape[1]
+    total = np.zeros(n_targets, dtype=np.float64)
+    zeros = np.zeros(n_targets, dtype=np.float64)
+    deltas: Dict[int, np.ndarray] = {}
+    cursor = 0
+    for tids, duration_ns, stall_tid in epoch_meta:
+        if not tids:
+            total += duration_ns
+            continue
+        block = predicted[cursor : cursor + len(tids)]
+        cursor += len(tids)
+        if not across:
+            values = block[0]
+            for row in block[1:]:
+                values = np.maximum(values, row)
+            total += values
+            continue
+        effective = block[0] - deltas.get(tids[0], zeros)
+        for tid, row in zip(tids[1:], block[1:]):
+            effective = np.maximum(effective, row - deltas.get(tid, zeros))
+        epoch_duration = np.maximum(0.0, effective)
+        for tid, row in zip(tids, block):
+            deltas[tid] = deltas.get(tid, zeros) + (epoch_duration - row)
+        if stall_tid is not None:
+            deltas[stall_tid] = zeros
+        total += epoch_duration
+    return total
+
+
+class _Irregular(Exception):
+    """Internal: columnar extraction found a shape the fast path cannot
+    prove equivalent; fall back to the scalar walk."""
+
+
+def _check_freqs(base: float, targets: Sequence[float]) -> None:
+    if base <= 0 or any(t <= 0 for t in targets):
+        raise PredictionError(
+            f"frequencies must be positive ({base} -> {tuple(targets)})"
+        )
+
+
+class EpochArrays:
+    """Columnar epoch decomposition: flattened (epoch, thread) entries.
+
+    The five predictor-visible counter deltas of every entry live in
+    flat float64 arrays (``wall`` is ``active_ns``); per-epoch structure
+    (thread layout, duration, stall thread, GC flag) rides in parallel
+    Python lists. Thread order within an epoch matches the scalar
+    extractor's dict insertion order (the event's running set).
+    """
+
+    __slots__ = (
+        "wall", "crit", "leading", "stall", "sqfull", "insns", "stores",
+        "tids", "durations", "stall_tids", "during_gc", "starts", "ends",
+        "_decomposed",
+    )
+
+    def __init__(self) -> None:
+        self.wall = np.empty(0)
+        self.crit = np.empty(0)
+        self.leading = np.empty(0)
+        self.stall = np.empty(0)
+        self.sqfull = np.empty(0)
+        self.insns = np.empty(0, dtype=np.int64)
+        self.stores = np.empty(0, dtype=np.int64)
+        self.tids: List[Tuple[int, ...]] = []
+        self.durations: List[float] = []
+        self.stall_tids: List[Optional[int]] = []
+        self.during_gc: List[bool] = []
+        self.starts: List[float] = []
+        self.ends: List[float] = []
+        #: estimator key -> (scaling, nonscaling) arrays, computed once.
+        self._decomposed: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_epochs(cls, epochs: Sequence[Epoch]) -> "EpochArrays":
+        """Flatten scalar :class:`Epoch` records into columns."""
+        arrays = cls()
+        entries: List[CounterSet] = []
+        for epoch in epochs:
+            tids = tuple(epoch.thread_deltas)
+            arrays.tids.append(tids)
+            for tid in tids:
+                entries.append(epoch.thread_deltas[tid])
+            arrays.durations.append(epoch.duration_ns)
+            arrays.stall_tids.append(epoch.stall_tid)
+            arrays.during_gc.append(epoch.during_gc)
+            arrays.starts.append(epoch.start_ns)
+            arrays.ends.append(epoch.end_ns)
+        n = len(entries)
+        arrays.wall = np.empty(n)
+        arrays.crit = np.empty(n)
+        arrays.leading = np.empty(n)
+        arrays.stall = np.empty(n)
+        arrays.sqfull = np.empty(n)
+        arrays.insns = np.empty(n, dtype=np.int64)
+        arrays.stores = np.empty(n, dtype=np.int64)
+        for i, c in enumerate(entries):
+            arrays.wall[i] = c.active_ns
+            arrays.crit[i] = c.crit_ns
+            arrays.leading[i] = c.leading_ns
+            arrays.stall[i] = c.stall_ns
+            arrays.sqfull[i] = c.sqfull_ns
+            arrays.insns[i] = c.insns
+            arrays.stores[i] = c.stores
+        return arrays
+
+    @classmethod
+    def from_trace(cls, trace: SimulationTrace) -> "EpochArrays":
+        """Decompose a whole trace, columnar when possible.
+
+        Traces built by :class:`~repro.sim.trace.TraceBuilder` are
+        decomposed straight from the backing arrays (no per-event Python
+        walk, no ``CounterSet`` materialization). Hand-built traces, or
+        any irregularity the fast path cannot prove equivalent (missing
+        snapshots, unsorted rows, unbalanced GC markers), fall back to
+        :func:`repro.core.epochs.extract_epochs` — which also raises the
+        reference :class:`~repro.common.errors.TraceError` for invalid
+        traces.
+        """
+        cols = trace.columns
+        if cols is None or len(trace.events) != cols.n_events or cols.n_events < 2:
+            return cls.from_epochs(extract_epochs(trace.events))
+        try:
+            return cls._from_columns(cols)
+        except _Irregular:
+            return cls.from_epochs(extract_epochs(trace.events))
+
+    @classmethod
+    def _from_columns(cls, cols) -> "EpochArrays":
+        n = cols.n_events
+        time = np.frombuffer(cols.time_ns, dtype=np.float64)
+        kind = np.frombuffer(cols.kind, dtype=np.uint8)
+        ev_tid = np.frombuffer(cols.tid, dtype=np.intc)
+        # Every event kind is an epoch boundary; consecutive events more
+        # than the coincidence tolerance apart bound one epoch.
+        valid = time[1:] > time[:-1] + 1e-9
+        openers = np.nonzero(valid)[0]
+        closers = openers + 1
+        # GC nesting depth after each event; the scalar walk clamps the
+        # decrement at zero, so an unbalanced GC_END is irregular here.
+        gc_delta = (kind == _GC_START_CODE).astype(np.int64)
+        gc_delta -= kind == _GC_END_CODE
+        depth = np.cumsum(gc_delta)
+        if depth.size and int(depth.min()) < 0:
+            raise _Irregular
+        arrays = cls()
+        arrays.starts = time[openers].tolist()
+        arrays.ends = time[closers].tolist()
+        arrays.durations = (time[closers] - time[openers]).tolist()
+        arrays.during_gc = (depth[openers] > 0).tolist()
+        closer_tid = ev_tid[closers]
+        is_stall = (kind[closers] == _FUTEX_WAIT_CODE) & (closer_tid >= 0)
+        arrays.stall_tids = [
+            int(t) if s else None
+            for t, s in zip(closer_tid.tolist(), is_stall.tolist())
+        ]
+        # Thread layout: the opener's running set, first occurrence wins
+        # (the scalar extractor's dict semantics).
+        running = cols.running
+        flat_tids: List[int] = []
+        tids_per_epoch = arrays.tids
+        for i in openers.tolist():
+            t = running[i]
+            if len(t) > 1:
+                t = tuple(dict.fromkeys(t))
+            tids_per_epoch.append(t)
+            flat_tids.extend(t)
+        counts = np.fromiter(
+            (len(t) for t in tids_per_epoch),
+            dtype=np.int64,
+            count=len(tids_per_epoch),
+        )
+        entry_event = np.repeat(openers, counts)
+        tid_arr = np.asarray(flat_tids, dtype=np.int64)
+        # Snapshot row lookup: rows are packed CSR-style, ascending tid
+        # within an event, so (event, tid) keys are strictly increasing
+        # and binary-searchable in one vectorized pass.
+        snap_lo = np.frombuffer(cols.snap_lo, dtype=np.int64)
+        snap_tid = np.frombuffer(cols.snap_tid, dtype=np.intc).astype(np.int64)
+        if snap_tid.size and int(snap_tid.min()) < 0:
+            raise _Irregular
+        stride = int(snap_tid.max()) + 1 if snap_tid.size else 1
+        if tid_arr.size and int(tid_arr.max()) >= stride:
+            raise _Irregular  # a running thread with no snapshot anywhere
+        if tid_arr.size and int(tid_arr.min()) < 0:
+            raise _Irregular
+        snap_event = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(snap_lo)
+        )
+        keys = snap_event * stride + snap_tid
+        if keys.size > 1 and not bool(np.all(np.diff(keys) > 0)):
+            raise _Irregular
+        open_rows = _rows_of(keys, entry_event * stride + tid_arr)
+        close_rows = _rows_of(keys, (entry_event + 1) * stride + tid_arr)
+        for name in ("active_ns", "crit_ns", "leading_ns", "stall_ns", "sqfull_ns"):
+            column = np.frombuffer(getattr(cols, name), dtype=np.float64)
+            delta = column[close_rows] - column[open_rows]
+            setattr(arrays, "wall" if name == "active_ns" else name[:-3], delta)
+        for name in ("insns", "stores"):
+            column = np.frombuffer(getattr(cols, name), dtype=np.int64)
+            setattr(arrays, name, column[close_rows] - column[open_rows])
+        return arrays
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.tids)
+
+    @property
+    def n_entries(self) -> int:
+        return int(self.wall.size)
+
+    def epoch_meta(self) -> Iterable[Tuple[Tuple[int, ...], float, Optional[int]]]:
+        """Per-epoch ``(tids, duration_ns, stall_tid)`` triples for
+        :func:`ctp_total` (re-iterable; create per consumer)."""
+        return zip(self.tids, self.durations, self.stall_tids)
+
+    def to_epochs(self) -> List[Epoch]:
+        """Materialize scalar :class:`Epoch` records (the inverse of
+        :meth:`from_epochs`; equals ``extract_epochs`` on the source
+        trace for :meth:`from_trace` arrays)."""
+        epochs: List[Epoch] = []
+        cursor = 0
+        for i, tids in enumerate(self.tids):
+            deltas: Dict[int, CounterSet] = {}
+            for tid in tids:
+                deltas[tid] = CounterSet(
+                    float(self.wall[cursor]),
+                    float(self.crit[cursor]),
+                    float(self.leading[cursor]),
+                    float(self.stall[cursor]),
+                    float(self.sqfull[cursor]),
+                    int(self.insns[cursor]),
+                    int(self.stores[cursor]),
+                )
+                cursor += 1
+            epochs.append(
+                Epoch(
+                    index=i,
+                    start_ns=self.starts[i],
+                    end_ns=self.ends[i],
+                    thread_deltas=deltas,
+                    stall_tid=self.stall_tids[i],
+                    during_gc=self.during_gc[i],
+                )
+            )
+        return epochs
+
+    def decomposed(
+        self, estimator: NonScalingEstimator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(scaling, nonscaling)`` arrays under ``estimator``'s clamp.
+
+        Cached per estimator identity, so DEP and DEP+BURST sweeps over
+        the same decomposition share everything but the one clamp pass.
+        Raises ``KeyError`` for estimators without a columnar identity.
+        """
+        key = estimator_key(estimator)
+        if key is None:
+            raise KeyError(estimator)
+        cached = self._decomposed.get(key)
+        if cached is None:
+            if self.wall.size and float(self.wall.min()) < 0:
+                raise PredictionError("negative wall time in epoch arrays")
+            estimate = vector_estimate(estimator, self)
+            nonscaling = np.minimum(np.maximum(estimate, 0.0), self.wall)
+            cached = (self.wall - nonscaling, nonscaling)
+            self._decomposed[key] = cached
+        return cached
+
+
+def _rows_of(keys: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Exact-match positions of ``queries`` in sorted ``keys``."""
+    rows = np.searchsorted(keys, queries)
+    if rows.size:
+        if int(rows.max()) >= keys.size or not bool(
+            np.all(keys[rows] == queries)
+        ):
+            raise _Irregular  # snapshot missing for a running thread
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Window kernels (predict_epochs semantics)
+# ----------------------------------------------------------------------
+
+
+def dep_window_sweep(
+    predictor: DepPredictor,
+    arrays: EpochArrays,
+    base_freq_ghz: float,
+    targets: Sequence[float],
+) -> List[float]:
+    """DEP over an epoch window at every target, one clamp pass total."""
+    _check_freqs(base_freq_ghz, targets)
+    scaling, nonscaling = arrays.decomposed(predictor.estimator)
+    # (entries, targets): per lane this is exactly the scalar expression
+    # ``scaling * base / target + nonscaling``, left-to-right.
+    predicted = (scaling * base_freq_ghz)[:, None] / np.asarray(
+        targets, dtype=np.float64
+    )[None, :] + nonscaling[:, None]
+    totals = ctp_total_multi(
+        arrays.epoch_meta(), predicted, predictor.across_epoch_ctp
+    )
+    return [float(value) for value in totals]
+
+
+def _window_decompose(
+    estimator: NonScalingEstimator,
+    span: float,
+    summed: Dict[int, CounterSet],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-thread (scaling, nonscaling) of a window model's summed
+    counters — estimator applied scalar-ly per thread (any estimator
+    works), clamp identical to :func:`repro.core.model.decompose`."""
+    if span < 0:
+        raise PredictionError(f"negative wall time {span}")
+    estimate = np.array(
+        [estimator(counters) for counters in summed.values()], dtype=np.float64
+    )
+    nonscaling = np.minimum(np.maximum(estimate, 0.0), span)
+    return span - nonscaling, nonscaling
+
+
+def mcrit_window_sweep(
+    predictor: MCritPredictor,
+    epochs: Sequence[Epoch],
+    base_freq_ghz: float,
+    targets: Sequence[float],
+) -> List[float]:
+    """M+CRIT window semantics at every target from one summation."""
+    _check_freqs(base_freq_ghz, targets)
+    if not epochs:
+        return [0.0 for _ in targets]
+    span = epochs[-1].end_ns - epochs[0].start_ns
+    summed = _sum_thread_deltas(epochs)
+    if not summed:
+        return [span for _ in targets]
+    scaling, nonscaling = _window_decompose(predictor.estimator, span, summed)
+    return [
+        max(0.0, float((scaling * base_freq_ghz / target + nonscaling).max()))
+        for target in targets
+    ]
+
+
+def coop_window_sweep(
+    predictor: CoopPredictor,
+    epochs: Sequence[Epoch],
+    base_freq_ghz: float,
+    targets: Sequence[float],
+) -> List[float]:
+    """COOP window semantics (GC-run phase groups) at every target."""
+    _check_freqs(base_freq_ghz, targets)
+    groups: List[List[Epoch]] = []
+    group: List[Epoch] = []
+    for epoch in epochs:
+        if group and epoch.during_gc != group[0].during_gc:
+            groups.append(group)
+            group = []
+        group.append(epoch)
+    if group:
+        groups.append(group)
+    # Gather each phase group once; per target only the multiply-add and
+    # the (sequential, scalar-order) phase summation remain.
+    metas: List[Tuple[float, Optional[Tuple[np.ndarray, np.ndarray]]]] = []
+    for g in groups:
+        span = g[-1].end_ns - g[0].start_ns
+        summed = _sum_thread_deltas(g)
+        if not summed:
+            metas.append((span, None))
+        else:
+            metas.append(
+                (span, _window_decompose(predictor.estimator, span, summed))
+            )
+    results: List[float] = []
+    for target in targets:
+        total = 0.0
+        for span, decomposition in metas:
+            if decomposition is None:
+                total += span
+            else:
+                scaling, nonscaling = decomposition
+                values = scaling * base_freq_ghz / target + nonscaling
+                total += max(0.0, float(values.max()))
+        results.append(total)
+    return results
+
+
+def sweep_predict_epochs(
+    predictor,
+    epochs: Union[Sequence[Epoch], EpochArrays],
+    base_freq_ghz: float,
+    targets: Sequence[float],
+) -> List[float]:
+    """``[predictor.predict_epochs(epochs, base, t) for t in targets]``,
+    evaluated through the sweep kernels when the predictor has one.
+
+    Bit-identical to the scalar loop for the six registered predictors;
+    anything unrecognized (custom predictor types, custom DEP
+    estimators) runs the scalar loop itself, so results never depend on
+    dispatch.
+    """
+    targets = list(targets)
+    if type(predictor) is DepPredictor and estimator_key(predictor.estimator):
+        arrays = (
+            epochs
+            if isinstance(epochs, EpochArrays)
+            else EpochArrays.from_epochs(epochs)
+        )
+        return dep_window_sweep(predictor, arrays, base_freq_ghz, targets)
+    if isinstance(epochs, EpochArrays):
+        epochs = epochs.to_epochs()
+    if type(predictor) is MCritPredictor:
+        return mcrit_window_sweep(predictor, epochs, base_freq_ghz, targets)
+    if type(predictor) is CoopPredictor:
+        return coop_window_sweep(predictor, epochs, base_freq_ghz, targets)
+    return [
+        predictor.predict_epochs(epochs, base_freq_ghz, target)
+        for target in targets
+    ]
+
+
+# ----------------------------------------------------------------------
+# Whole-trace sweeps (predict_total_ns semantics)
+# ----------------------------------------------------------------------
+
+
+class TraceSweep:
+    """One trace's decomposition, shared across predictors and targets.
+
+    Each ingredient — the columnar epoch arrays (DEP), the counter
+    timeline and per-thread lifetimes (M+CRIT), the GC phase split and
+    per-(phase, thread) windows (COOP) — is gathered lazily, exactly
+    once, and reused by every :meth:`predict` call. Gathering follows
+    the scalar models' own sequence of operations, so predictions are
+    bit-identical to ``predictor.predict_total_ns``.
+    """
+
+    def __init__(self, trace: SimulationTrace) -> None:
+        self.trace = trace
+        self._arrays: Optional[EpochArrays] = None
+        self._timeline: Optional[CounterTimeline] = None
+        self._mcrit_gathered: Optional[
+            Tuple[np.ndarray, List[CounterSet]]
+        ] = None
+        self._coop_gathered: Optional[
+            Tuple[List[Tuple[float, int, int]], np.ndarray, List[CounterSet]]
+        ] = None
+
+    @property
+    def arrays(self) -> EpochArrays:
+        """The columnar epoch decomposition (built on first use)."""
+        if self._arrays is None:
+            self._arrays = EpochArrays.from_trace(self.trace)
+        return self._arrays
+
+    @property
+    def timeline(self) -> CounterTimeline:
+        if self._timeline is None:
+            self._timeline = CounterTimeline(self.trace)
+        return self._timeline
+
+    def predict(
+        self,
+        predictor,
+        targets: Sequence[float],
+        base_freq_ghz: Optional[float] = None,
+    ) -> List[float]:
+        """``[predictor.predict_total_ns(trace, t, base) for t in targets]``
+        from one shared decomposition (bit-identical)."""
+        base = (
+            base_freq_ghz
+            if base_freq_ghz is not None
+            else self.trace.base_freq_ghz
+        )
+        targets = list(targets)
+        if type(predictor) is DepPredictor and estimator_key(
+            predictor.estimator
+        ):
+            return dep_window_sweep(predictor, self.arrays, base, targets)
+        if type(predictor) is MCritPredictor:
+            return self._mcrit_sweep(predictor, base, targets)
+        if type(predictor) is CoopPredictor:
+            return self._coop_sweep(predictor, base, targets)
+        return [
+            predictor.predict_total_ns(self.trace, target, base_freq_ghz=base)
+            for target in targets
+        ]
+
+    # -- M+CRIT --------------------------------------------------------
+
+    def _mcrit_gather(self) -> Tuple[np.ndarray, List[CounterSet]]:
+        gathered = self._mcrit_gathered
+        if gathered is None:
+            app_tids = self.trace.app_tids()
+            if not app_tids:
+                raise PredictionError("trace has no application threads")
+            timeline = self.timeline
+            walls = np.array(
+                [timeline.lifetime_ns(tid) for tid in app_tids],
+                dtype=np.float64,
+            )
+            counters = [timeline.final_counters(tid) for tid in app_tids]
+            gathered = self._mcrit_gathered = (walls, counters)
+        return gathered
+
+    def _mcrit_sweep(
+        self, predictor: MCritPredictor, base: float, targets: List[float]
+    ) -> List[float]:
+        _check_freqs(base, targets)
+        walls, counter_list = self._mcrit_gather()
+        if walls.size and float(walls.min()) < 0:
+            raise PredictionError(f"negative wall time {float(walls.min())}")
+        estimate = np.array(
+            [predictor.estimator(c) for c in counter_list], dtype=np.float64
+        )
+        nonscaling = np.minimum(np.maximum(estimate, 0.0), walls)
+        scaling = walls - nonscaling
+        return [
+            max(0.0, float((scaling * base / target + nonscaling).max()))
+            for target in targets
+        ]
+
+    # -- COOP ----------------------------------------------------------
+
+    def _coop_gather(
+        self,
+    ) -> Tuple[List[Tuple[float, int, int]], np.ndarray, List[CounterSet]]:
+        """Per-phase entry windows, flattened.
+
+        Returns ``(metas, walls, counters)`` where ``metas`` holds one
+        ``(phase_duration_ns, lo, hi)`` per phase (``lo:hi`` slicing the
+        flat entry arrays) and each entry is one live thread clipped to
+        the phase, in the scalar model's thread order.
+        """
+        gathered = self._coop_gathered
+        if gathered is None:
+            trace = self.trace
+            timeline = self.timeline
+            phases = split_phases(trace)
+            app_tids = trace.app_tids()
+            gc_tids = [
+                tid
+                for tid, info in trace.threads.items()
+                if info.kind.value == "gc"
+            ]
+            if not app_tids:
+                raise PredictionError("trace has no application threads")
+            metas: List[Tuple[float, int, int]] = []
+            walls: List[float] = []
+            counters: List[CounterSet] = []
+            for phase in phases:
+                tids = app_tids if phase.kind == "app" else gc_tids
+                lo = len(walls)
+                for tid in tids:
+                    start = max(phase.start_ns, timeline.spawn_time(tid))
+                    end = min(phase.end_ns, timeline.exit_time(tid))
+                    if end <= start:
+                        continue
+                    walls.append(end - start)
+                    counters.append(timeline.delta(tid, start, end))
+                metas.append((phase.duration_ns, lo, len(walls)))
+            gathered = self._coop_gathered = (
+                metas,
+                np.array(walls, dtype=np.float64),
+                counters,
+            )
+        return gathered
+
+    def _coop_sweep(
+        self, predictor: CoopPredictor, base: float, targets: List[float]
+    ) -> List[float]:
+        _check_freqs(base, targets)
+        metas, walls, counter_list = self._coop_gather()
+        if walls.size and float(walls.min()) < 0:
+            raise PredictionError(f"negative wall time {float(walls.min())}")
+        estimate = np.array(
+            [predictor.estimator(c) for c in counter_list], dtype=np.float64
+        )
+        nonscaling = np.minimum(np.maximum(estimate, 0.0), walls)
+        scaling = walls - nonscaling
+        results: List[float] = []
+        for target in targets:
+            values = scaling * base / target + nonscaling
+            total = 0.0
+            for duration_ns, lo, hi in metas:
+                if hi == lo:
+                    # No live thread in the phase window: keep measured
+                    # duration (the scalar model's rule).
+                    total += duration_ns
+                else:
+                    total += max(0.0, float(values[lo:hi].max()))
+            results.append(total)
+        return results
+
+
+def sweep_total_ns(
+    trace_or_sweep: Union[SimulationTrace, TraceSweep],
+    predictor,
+    targets: Sequence[float],
+    base_freq_ghz: Optional[float] = None,
+) -> List[float]:
+    """Whole-trace sweep convenience: accepts a trace or a prepared
+    :class:`TraceSweep` (reuse one across predictors to share the
+    decomposition)."""
+    sweep = (
+        trace_or_sweep
+        if isinstance(trace_or_sweep, TraceSweep)
+        else TraceSweep(trace_or_sweep)
+    )
+    return sweep.predict(predictor, targets, base_freq_ghz=base_freq_ghz)

@@ -22,31 +22,31 @@ stays a Python loop over precomputed per-thread predictions — it is
 inherently sequential across epochs but touches only a handful of floats
 per epoch.
 
-Only DEP-family predictors with a recognized linear estimator take the
-columnar path; anything else (M+CRIT/COOP windows, custom estimators)
-falls back to the scalar code, so results never depend on which path ran.
+The kernels themselves live in :mod:`repro.core.sweep` (the sweep engine
+shares them with the experiment drivers and the energy manager); this
+module adds the batch concern the service needs: DEP-family jobs with a
+recognized linear estimator are flattened together so one columnar pass
+covers the whole batch. M+CRIT/COOP jobs route through the sweep window
+kernels per job; custom predictors or estimators fall back to the scalar
+code, so results never depend on which path ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import PredictionError
-from repro.core.crit import crit_nonscaling
 from repro.core.dep import DepPredictor
 from repro.core.epochs import Epoch
-from repro.core.leadingloads import leading_loads_nonscaling
-from repro.core.stalltime import stall_time_nonscaling
-
-#: Base estimators with a columnar equivalent: name -> column picker.
-_VECTOR_BASES: Dict[object, Tuple[str, Callable[["_Columns"], np.ndarray]]] = {
-    crit_nonscaling: ("crit", lambda c: c.crit),
-    stall_time_nonscaling: ("stall", lambda c: c.stall),
-    leading_loads_nonscaling: ("leading", lambda c: c.leading),
-}
+from repro.core.sweep import (
+    ctp_total,
+    estimator_key,
+    sweep_predict_epochs,
+    vector_estimate,
+)
 
 
 @dataclass(frozen=True)
@@ -79,22 +79,18 @@ class _Columns:
             self.sqfull[i] = c.sqfull_ns
 
 
-def vector_estimator_key(estimator) -> Optional[str]:
-    """Columnar identity of ``estimator`` (None if not vectorizable)."""
-    base = getattr(estimator, "base_estimator", None)
-    if base is not None:
-        entry = _VECTOR_BASES.get(base)
-        return f"{entry[0]}+burst" if entry else None
-    entry = _VECTOR_BASES.get(estimator)
-    return entry[0] if entry else None
+#: Columnar identity of an estimator (None if not vectorizable) — the
+#: sweep engine's registry, re-exported under the historical name.
+vector_estimator_key = estimator_key
 
 
-def _vector_estimate(estimator, cols: _Columns) -> np.ndarray:
-    """Columnar non-scaling estimate matching ``estimator`` exactly."""
-    base = getattr(estimator, "base_estimator", None)
-    if base is not None:
-        return _VECTOR_BASES[base][1](cols) + cols.sqfull
-    return _VECTOR_BASES[estimator][1](cols)
+def _vector_estimate(estimator, cols) -> np.ndarray:
+    """Columnar non-scaling estimate matching ``estimator`` exactly.
+
+    A module-level indirection over :func:`repro.core.sweep.vector_estimate`
+    so fault-injection tests can perturb the batch path in one place.
+    """
+    return vector_estimate(estimator, cols)
 
 
 def scalar_results(job: PredictJob) -> List[float]:
@@ -109,7 +105,9 @@ def evaluate_predict_jobs(jobs: Sequence[PredictJob]) -> List[List[float]]:
     """Evaluate a batch of jobs; results[i][k] is job i at its k-th target.
 
     DEP-family jobs with a recognized estimator share columnar passes
-    (grouped per estimator); everything else runs the scalar path.
+    (grouped per estimator); M+CRIT/COOP jobs run the sweep window
+    kernels per job; everything else runs the scalar path (the sweep
+    dispatcher's own fallback).
     """
     results: List[Optional[List[float]]] = [None] * len(jobs)
     groups: Dict[str, List[int]] = {}
@@ -118,7 +116,12 @@ def evaluate_predict_jobs(jobs: Sequence[PredictJob]) -> List[List[float]]:
         if isinstance(job.predictor, DepPredictor):
             key = vector_estimator_key(job.predictor.estimator)
         if key is None:
-            results[i] = scalar_results(job)
+            results[i] = sweep_predict_epochs(
+                job.predictor,
+                job.epochs,
+                job.base_freq_ghz,
+                job.target_freqs_ghz,
+            )
         else:
             groups.setdefault(key, []).append(i)
     for indices in groups.values():
@@ -167,33 +170,6 @@ def _evaluate_group(
         results[out_index] = job_results
 
 
-def _ctp_total(
-    epoch_meta: List[Tuple[Tuple[int, ...], float, Optional[int]]],
-    predicted: List[float],
-    across: bool,
-) -> float:
-    """Sum epoch durations under the per- or across-epoch CTP policy.
-
-    Performs the same operations in the same order as
-    :meth:`repro.core.dep.DepPredictor.predict_epoch`.
-    """
-    deltas: Dict[int, float] = {}
-    total = 0.0
-    cursor = 0
-    for tids, duration_ns, stall_tid in epoch_meta:
-        if not tids:
-            total += duration_ns
-            continue
-        values = predicted[cursor : cursor + len(tids)]
-        cursor += len(tids)
-        if not across:
-            total += max(values)
-            continue
-        effective = [a - deltas.get(tid, 0.0) for tid, a in zip(tids, values)]
-        epoch_duration = max(0.0, max(effective))
-        for tid, a in zip(tids, values):
-            deltas[tid] = deltas.get(tid, 0.0) + (epoch_duration - a)
-        if stall_tid is not None:
-            deltas[stall_tid] = 0.0
-        total += epoch_duration
-    return total
+#: The CTP aggregation loop — shared with the sweep engine, which owns
+#: the reference implementation.
+_ctp_total = ctp_total

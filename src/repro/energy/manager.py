@@ -36,6 +36,7 @@ from repro.core.burst import with_burst
 from repro.core.crit import crit_nonscaling
 from repro.core.dep import DepPredictor
 from repro.core.epochs import Epoch, extract_epochs
+from repro.core.sweep import EpochArrays, sweep_predict_epochs
 from repro.sim.intervals import IntervalRecord
 from repro.sim.trace import SimulationTrace
 
@@ -123,12 +124,19 @@ class EnergyManagerSession:
         config: Optional[ManagerConfig] = None,
         predictor: Optional[DepPredictor] = None,
         power_model: Optional["PowerModel"] = None,
+        sweep: bool = True,
     ) -> None:
         self.spec = spec
         self.config = config or ManagerConfig()
         self.predictor = predictor or DepPredictor(
             estimator=with_burst(crit_nonscaling), name="DEP+BURST"
         )
+        #: Evaluate the whole candidate V/f table per quantum in one
+        #: sweep-kernel call instead of one ``predict_epochs`` per set
+        #: point. Decisions are bit-identical either way (the kernels
+        #: are exact); ``sweep=False`` keeps the per-frequency loop for
+        #: benchmarking and differential testing.
+        self.sweep = sweep
         if self.config.objective == "min-edp" and power_model is None:
             from repro.energy.power import PowerModel
 
@@ -154,17 +162,21 @@ class EnergyManagerSession:
             return None
         base = record.freq_ghz
         f_max = self.spec.max_freq_ghz
-        predicted_at_max = self.predictor.predict_epochs(epochs, base, f_max)
+        predictions = self._sweep_candidates(epochs, base) if self.sweep else None
+        if predictions is not None:
+            predicted_at_max = predictions[f_max]
+        else:
+            predicted_at_max = self.predictor.predict_epochs(epochs, base, f_max)
         if predicted_at_max <= 0:
             return None
         bound = self._interval_bound(record, predicted_at_max)
         if self.config.objective == "min-edp":
             chosen, chosen_slowdown = self._choose_min_edp(
-                record, epochs, base, predicted_at_max, bound
+                record, epochs, base, predicted_at_max, bound, predictions
             )
         else:
             chosen, chosen_slowdown = self._choose_min_energy(
-                epochs, base, predicted_at_max, bound
+                epochs, base, predicted_at_max, bound, predictions
             )
         self.decisions.append(
             ManagerDecision(
@@ -179,17 +191,35 @@ class EnergyManagerSession:
             return chosen
         return None
 
-    def _choose_min_energy(self, epochs, base, predicted_at_max, bound):
+    def _sweep_candidates(self, epochs, base):
+        """All candidate predictions (plus the maximum frequency) from
+        one sweep-kernel call over one epoch decomposition."""
+        targets = list(self.spec.frequencies())
+        f_max = self.spec.max_freq_ghz
+        if f_max not in targets:
+            targets.append(f_max)
+        arrays = EpochArrays.from_epochs(epochs)
+        values = sweep_predict_epochs(self.predictor, arrays, base, targets)
+        return dict(zip(targets, values))
+
+    def _choose_min_energy(
+        self, epochs, base, predicted_at_max, bound, predictions=None
+    ):
         """The paper's policy: lowest frequency within the slowdown bound."""
         f_max = self.spec.max_freq_ghz
         for candidate in self.spec.frequencies():  # ascending
-            predicted = self.predictor.predict_epochs(epochs, base, candidate)
+            if predictions is not None:
+                predicted = predictions[candidate]
+            else:
+                predicted = self.predictor.predict_epochs(epochs, base, candidate)
             slowdown = predicted / predicted_at_max - 1.0
             if slowdown <= bound:
                 return candidate, slowdown
         return f_max, 0.0
 
-    def _choose_min_edp(self, record, epochs, base, predicted_at_max, bound):
+    def _choose_min_edp(
+        self, record, epochs, base, predicted_at_max, bound, predictions=None
+    ):
         """Extension: minimize predicted energy x delay within the bound.
 
         Energy at a candidate frequency is estimated with the power model
@@ -201,7 +231,10 @@ class EnergyManagerSession:
         best = (f_max, 0.0)
         best_edp = None
         for candidate in self.spec.frequencies():
-            predicted = self.predictor.predict_epochs(epochs, base, candidate)
+            if predictions is not None:
+                predicted = predictions[candidate]
+            else:
+                predicted = self.predictor.predict_epochs(epochs, base, candidate)
             slowdown = predicted / predicted_at_max - 1.0
             if slowdown > bound:
                 continue

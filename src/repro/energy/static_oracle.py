@@ -7,12 +7,19 @@ the threshold. Because it uses the very runs it is judged on, the paper
 treats it as an oracle; a dynamic manager can only beat it by exploiting
 *phase behaviour* — running memory-bound stretches slower and compute
 stretches faster than any single static point could.
+
+:func:`predicted_static_optimal` is the simulate-once variant: instead of
+one ground-truth run per set point, it sweeps the whole V/f table from a
+single base-frequency trace in one kernel call
+(:class:`~repro.core.sweep.TraceSweep`) and prices each predicted
+duration with the power model. It answers the oracle's question at the
+cost of one simulation plus one decomposition.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Tuple
+from typing import Mapping, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 
@@ -68,3 +75,52 @@ def static_optimal(
                 energy_saving=1.0 - energy_j / base_j,
             )
     return best
+
+
+def predicted_static_optimal(
+    trace,
+    power_model,
+    frequencies: Sequence[float],
+    tolerable_slowdown: float,
+    max_freq_ghz: float,
+    predictor=None,
+    base_freq_ghz: Optional[float] = None,
+) -> StaticOracleResult:
+    """The oracle's answer from one base-frequency trace, no re-runs.
+
+    Predicts the whole-run duration at every candidate frequency (plus
+    ``max_freq_ghz``) in a single sweep-kernel call over ``trace``'s
+    decomposition, prices each with ``power_model`` over the trace's
+    aggregate counters, and applies :func:`static_optimal`'s selection
+    rule to the predicted runs. The default predictor is the paper's
+    DEP+BURST.
+    """
+    from repro.core.predictors import make_predictor
+    from repro.core.sweep import TraceSweep
+
+    if predictor is None:
+        predictor = make_predictor("DEP+BURST")
+    targets = list(frequencies)
+    if max_freq_ghz not in targets:
+        targets.append(max_freq_ghz)
+    sweep = TraceSweep(trace)
+    predictions = sweep.predict(predictor, targets, base_freq_ghz=base_freq_ghz)
+    # Aggregate chip-wide counters once; the power model re-times them to
+    # each predicted duration (the same approximation the manager's
+    # min-EDP objective uses per quantum).
+    aggregate = None
+    for counters in trace.final_counters().values():
+        if aggregate is None:
+            aggregate = counters.copy()
+        else:
+            aggregate.add(counters)
+    if aggregate is None:
+        raise ConfigError("trace has no counter snapshots to price")
+    runs = {
+        freq: (
+            predicted_ns,
+            power_model.interval_energy_j(aggregate, predicted_ns, freq),
+        )
+        for freq, predicted_ns in zip(targets, predictions)
+    }
+    return static_optimal(runs, tolerable_slowdown, max_freq_ghz)

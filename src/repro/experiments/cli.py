@@ -164,6 +164,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="do not read or write the persistent result cache",
     )
+    sweep_group = parser.add_mutually_exclusive_group()
+    sweep_group.add_argument(
+        "--sweep",
+        dest="sweep",
+        action="store_true",
+        default=True,
+        help="evaluate prediction grids through the sweep kernels: one "
+        "epoch decomposition per benchmark trace shared across all "
+        "(predictor, target) pairs (default)",
+    )
+    sweep_group.add_argument(
+        "--no-sweep",
+        dest="sweep",
+        action="store_false",
+        help="use the scalar per-frequency prediction loops "
+        "(bit-identical results, mainly for benchmarking)",
+    )
     args = parser.parse_args(argv)
     profile_path = resolve_profile_path(args.profile, "repro-experiments.pstats")
     return run_maybe_profiled(lambda: _run_suite(parser, args), profile_path)
@@ -173,7 +190,7 @@ def _run_suite(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())
-    runner = get_runner(cache=cache)
+    runner = get_runner(cache=cache, sweep=args.sweep)
     try:
         jobs = resolve_jobs(args.jobs)
     except ConfigError as exc:

@@ -47,17 +47,38 @@ def run(runner: ExperimentRunner) -> ExperimentResult:
         ],
         notes="averaged over all benchmarks; paper values read from Figure 1",
     )
-    for target in config.targets_up_ghz:
-        errors: Dict[str, List[float]] = {"mcrit": [], "depburst": []}
-        for benchmark in config.benchmarks:
-            base = runner.base_trace(benchmark, _BASE_GHZ)
-            actual = runner.fixed_run(benchmark, target).total_ns
-            errors["mcrit"].append(
-                prediction_error(mcrit.predict_total_ns(base, target), actual)
-            )
-            errors["depburst"].append(
-                prediction_error(depburst.predict_total_ns(base, target), actual)
-            )
+    targets = list(config.targets_up_ghz)
+    # model -> benchmark -> target -> signed error. Sweep mode evaluates
+    # each benchmark's whole target grid from one shared decomposition.
+    per_bench: Dict[str, Dict[str, Dict[float, float]]] = {
+        "mcrit": {},
+        "depburst": {},
+    }
+    for benchmark in config.benchmarks:
+        actuals = {
+            t: runner.fixed_run(benchmark, t).total_ns for t in targets
+        }
+        for key, predictor in (("mcrit", mcrit), ("depburst", depburst)):
+            if runner.sweep:
+                sweep = runner.trace_sweep(benchmark, _BASE_GHZ)
+                estimates = sweep.predict(predictor, targets)
+            else:
+                base = runner.base_trace(benchmark, _BASE_GHZ)
+                estimates = [
+                    predictor.predict_total_ns(base, t) for t in targets
+                ]
+            per_bench[key][benchmark] = {
+                t: prediction_error(est, actuals[t])
+                for t, est in zip(targets, estimates)
+            }
+    for target in targets:
+        errors: Dict[str, List[float]] = {
+            key: [
+                per_bench[key][benchmark][target]
+                for benchmark in config.benchmarks
+            ]
+            for key in ("mcrit", "depburst")
+        }
         result.rows.append(
             (
                 f"{target:.0f}",

@@ -57,10 +57,21 @@ def collect(runner: ExperimentRunner) -> Fig3Data:
     )
     for direction, base_freq, targets in directions:
         for benchmark in config.benchmarks:
-            base = runner.base_trace(benchmark, base_freq)
             actuals = {
                 t: runner.fixed_run(benchmark, t).total_ns for t in targets
             }
+            if runner.sweep:
+                # One epoch decomposition per (benchmark, base), shared
+                # by all models and targets of this figure.
+                sweep = runner.trace_sweep(benchmark, base_freq)
+                for model in models:
+                    estimates = sweep.predict(make_predictor(model), targets)
+                    getattr(data, direction)[model][benchmark] = {
+                        t: prediction_error(est, actuals[t])
+                        for t, est in zip(targets, estimates)
+                    }
+                continue
+            base = runner.base_trace(benchmark, base_freq)
             for model in models:
                 predictor = make_predictor(model)
                 errors = {

@@ -49,14 +49,28 @@ def run(runner: ExperimentRunner) -> ExperimentResult:
     )
     summary = {"up_a": [], "up_p": [], "down_a": [], "down_p": []}
     for benchmark in config.benchmarks:
-        base1 = runner.base_trace(benchmark, 1.0)
-        base4 = runner.base_trace(benchmark, 4.0)
         actual4 = runner.fixed_run(benchmark, 4.0).total_ns
         actual1 = runner.fixed_run(benchmark, 1.0).total_ns
-        up_a = prediction_error(across.predict_total_ns(base1, 4.0), actual4)
-        up_p = prediction_error(per.predict_total_ns(base1, 4.0), actual4)
-        down_a = prediction_error(across.predict_total_ns(base4, 1.0), actual1)
-        down_p = prediction_error(per.predict_total_ns(base4, 1.0), actual1)
+        if runner.sweep:
+            # Both CTP policies share each base trace's decomposition
+            # (the TraceSweep caches the clamped epoch arrays).
+            sweep1 = runner.trace_sweep(benchmark, 1.0)
+            sweep4 = runner.trace_sweep(benchmark, 4.0)
+            [est_up_a] = sweep1.predict(across, [4.0])
+            [est_up_p] = sweep1.predict(per, [4.0])
+            [est_down_a] = sweep4.predict(across, [1.0])
+            [est_down_p] = sweep4.predict(per, [1.0])
+        else:
+            base1 = runner.base_trace(benchmark, 1.0)
+            base4 = runner.base_trace(benchmark, 4.0)
+            est_up_a = across.predict_total_ns(base1, 4.0)
+            est_up_p = per.predict_total_ns(base1, 4.0)
+            est_down_a = across.predict_total_ns(base4, 1.0)
+            est_down_p = per.predict_total_ns(base4, 1.0)
+        up_a = prediction_error(est_up_a, actual4)
+        up_p = prediction_error(est_up_p, actual4)
+        down_a = prediction_error(est_down_a, actual1)
+        down_p = prediction_error(est_down_p, actual1)
         summary["up_a"].append(up_a)
         summary["up_p"].append(up_p)
         summary["down_a"].append(down_a)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.sweep import TraceSweep
 from repro.energy.account import compute_energy
 from repro.energy.manager import EnergyManager, ManagerConfig, ManagerDecision
 from repro.energy.power import PowerModel
@@ -86,9 +87,17 @@ class ExperimentRunner:
         self,
         config: Optional[ExperimentConfig] = None,
         cache: Optional[ResultCache] = None,
+        sweep: bool = True,
     ) -> None:
         self.config = config or default_config()
         self.cache = cache
+        #: Evaluate predictions through the sweep kernels
+        #: (:mod:`repro.core.sweep`) — one decomposition per benchmark
+        #: trace shared across a whole figure's (predictor, target)
+        #: grid, and one kernel call per governor quantum. Results are
+        #: bit-identical either way; ``sweep=False`` keeps the scalar
+        #: per-frequency loops for benchmarking and differential runs.
+        self.sweep = sweep
         #: Simulations actually executed by this process (cache misses).
         self.simulations = 0
         self._bundles: Dict[str, BenchmarkBundle] = {}
@@ -96,6 +105,7 @@ class ExperimentRunner:
         self._managed: Dict[Tuple[str, float], ManagedRun] = {}
         self._power_models: Dict[str, PowerModel] = {}
         self._fingerprints: Dict[str, dict] = {}
+        self._sweeps: Dict[Tuple[str, float], TraceSweep] = {}
 
     def bundle(self, benchmark: str) -> BenchmarkBundle:
         """The (cached) benchmark bundle at the configured scale."""
@@ -178,6 +188,20 @@ class ExperimentRunner:
             )
         return run.trace
 
+    def trace_sweep(self, benchmark: str, base_freq_ghz: float) -> TraceSweep:
+        """The (memoized) sweep decomposition of a base-frequency trace.
+
+        One :class:`~repro.core.sweep.TraceSweep` per (benchmark, base)
+        is shared by every figure/table driver, so a whole error grid
+        costs a single epoch decomposition per trace.
+        """
+        key = (benchmark, round(base_freq_ghz, 6))
+        sweep = self._sweeps.get(key)
+        if sweep is None:
+            sweep = TraceSweep(self.base_trace(benchmark, base_freq_ghz))
+            self._sweeps[key] = sweep
+        return sweep
+
     # ------------------------------------------------------------------
     # Managed runs
     # ------------------------------------------------------------------
@@ -192,14 +216,17 @@ class ExperimentRunner:
         disk_key = None
         if self.cache is not None:
             disk_key = cache_mod.managed_key(
-                self.fingerprint(benchmark), manager_config, self.config.quantum_ns
+                self.fingerprint(benchmark),
+                manager_config,
+                self.config.quantum_ns,
+                prediction=cache_mod.prediction_fingerprint(self.sweep),
             )
             run = self.cache.load_managed(disk_key, benchmark)
             if run is not None:
                 self._managed[key] = run
                 return run
         bundle = self.bundle(benchmark)
-        manager = EnergyManager(bundle.spec, manager_config)
+        manager = EnergyManager(bundle.spec, manager_config, sweep=self.sweep)
         result = simulate_managed(
             bundle.program,
             manager,
@@ -231,6 +258,7 @@ _RUNNER: Optional[ExperimentRunner] = None
 def get_runner(
     config: Optional[ExperimentConfig] = None,
     cache: Optional[ResultCache] = None,
+    sweep: Optional[bool] = None,
 ) -> ExperimentRunner:
     """Process-wide runner so tests/benchmarks share ground-truth runs."""
     global _RUNNER
@@ -238,6 +266,9 @@ def get_runner(
         _RUNNER is None
         or (config is not None and config != _RUNNER.config)
         or (cache is not None and cache is not _RUNNER.cache)
+        or (sweep is not None and sweep != _RUNNER.sweep)
     ):
-        _RUNNER = ExperimentRunner(config, cache=cache)
+        _RUNNER = ExperimentRunner(
+            config, cache=cache, sweep=True if sweep is None else sweep
+        )
     return _RUNNER

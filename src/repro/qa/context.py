@@ -41,7 +41,9 @@ class CaseContext:
         self._program: Optional[Program] = None
         self._results: Dict[Tuple[float, str], SimulationResult] = {}
         self._epochs: Dict[Tuple[float, str], List[Epoch]] = {}
-        self._managed: Dict[str, Tuple[SimulationTrace, List[ManagerDecision]]] = {}
+        self._managed: Dict[
+            Tuple[str, bool], Tuple[SimulationTrace, List[ManagerDecision]]
+        ] = {}
 
     @property
     def program(self) -> Program:
@@ -77,11 +79,17 @@ class CaseContext:
         return self._epochs[key]
 
     def managed(
-        self, engine: str = "fast"
+        self, engine: str = "fast", sweep: bool = True
     ) -> Tuple[SimulationTrace, List[ManagerDecision]]:
-        """Managed run under the case's energy manager: (trace, decisions)."""
-        if engine not in self._managed:
-            manager = EnergyManager(self.spec, self.case.manager)
+        """Managed run under the case's energy manager: (trace, decisions).
+
+        ``sweep`` selects the manager's candidate-evaluation engine (one
+        sweep-kernel call vs. the per-frequency scalar loop); both must
+        produce identical decisions, which the sweep differential checks.
+        """
+        key = (engine, sweep)
+        if key not in self._managed:
+            manager = EnergyManager(self.spec, self.case.manager, sweep=sweep)
             result = simulate_managed(
                 self.program,
                 manager,
@@ -89,8 +97,8 @@ class CaseContext:
                 quantum_ns=self.case.quantum_ns,
                 engine=engine,
             )
-            self._managed[engine] = (result.trace, list(manager.decisions))
-        return self._managed[engine]
+            self._managed[key] = (result.trace, list(manager.decisions))
+        return self._managed[key]
 
     def target_ladder(self) -> List[float]:
         """Ascending target frequencies the prediction invariants sweep.

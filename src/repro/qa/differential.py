@@ -1,6 +1,6 @@
 """Differential invariants: redundant implementations must agree exactly.
 
-Three pairs of independently-optimized paths claim bit-identical
+Four pairs of independently-optimized paths claim bit-identical
 semantics; each gets a differential invariant that executes the fuzzed
 workload through both sides and compares *bytes*, not approximations:
 
@@ -9,6 +9,9 @@ workload through both sides and compares *bytes*, not approximations:
 * scalar vs. vectorized predictor evaluation — per-target predictions
   from :func:`repro.core.vectorized.evaluate_predict_jobs` against the
   scalar reference;
+* scalar vs. sweep-engine prediction — :mod:`repro.core.sweep`'s
+  columnar decomposition and frequency kernels for every predictor,
+  plus the energy-manager decision log under either candidate engine;
 * in-process vs. served governors and predictors — a live
   :mod:`repro.serve` server replayed over the NDJSON wire.
 
@@ -131,6 +134,71 @@ def _diff_predict_vectorized(context: CaseContext) -> List[str]:
                 f"{job.predictor.name} ({policy}-epoch CTP): vectorized "
                 f"{batch!r} != scalar {scalar!r}"
             )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Scalar vs. sweep kernels
+# ----------------------------------------------------------------------
+
+
+@register(
+    "sweep-scalar-identity",
+    "the simulate-once sweep engine (columnar decomposition + frequency "
+    "kernels) is byte-identical to the scalar per-frequency path for all "
+    "predictors, and leaves energy-manager decisions unchanged",
+)
+def _sweep_scalar_identity(context: CaseContext) -> List[str]:
+    from repro.core.epochs import extract_epochs
+    from repro.core.sweep import EpochArrays, TraceSweep, sweep_predict_epochs
+
+    violations: List[str] = []
+    trace = context.result().trace
+    base = context.case.base_freq_ghz
+    targets = context.target_ladder()
+
+    # The decomposition itself: columnar arrays must reproduce the
+    # reference per-event walk record for record.
+    reference = extract_epochs(trace.events)
+    if EpochArrays.from_trace(trace).to_epochs() != reference:
+        violations.append(
+            "columnar epoch decomposition differs from extract_epochs"
+        )
+
+    sweep = TraceSweep(trace)
+    epochs = context.epochs()
+    arrays = EpochArrays.from_epochs(epochs)
+    for name in predictor_names():
+        predictor = make_predictor(name)
+        whole = sweep.predict(predictor, targets)
+        whole_scalar = [
+            predictor.predict_total_ns(trace, target) for target in targets
+        ]
+        if whole != whole_scalar:
+            violations.append(
+                f"{name}: whole-trace sweep {whole!r} != scalar "
+                f"{whole_scalar!r}"
+            )
+        window = sweep_predict_epochs(predictor, arrays, base, targets)
+        window_scalar = [
+            predictor.predict_epochs(epochs, base, target)
+            for target in targets
+        ]
+        if window != window_scalar:
+            violations.append(
+                f"{name}: window sweep {window!r} != scalar "
+                f"{window_scalar!r}"
+            )
+
+    # The consumer that matters most: per-quantum governor decisions must
+    # not depend on which engine scored the candidate table.
+    _, swept = context.managed("fast", sweep=True)
+    _, scalar = context.managed("fast", sweep=False)
+    if _decision_bytes(swept) != _decision_bytes(scalar):
+        violations.append(
+            f"manager decisions diverge between sweep ({len(swept)}) and "
+            f"scalar ({len(scalar)}) candidate evaluation"
+        )
     return violations
 
 

@@ -15,6 +15,7 @@ document ``BENCH_hotpath.json`` records.
 
 from __future__ import annotations
 
+import statistics
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -62,6 +63,20 @@ def hotpath_stress_config(scale: float = 1.0) -> SyntheticWorkloadConfig:
     )
 
 
+def wall_stats(walls: Sequence[float]) -> Dict[str, float]:
+    """Explicit min/median/mean of a rep's wall times.
+
+    Every ``BENCH_*.json`` writer records all three so a reader never has
+    to guess which statistic a headline number is (the headline itself is
+    always the minimum — the rep least disturbed by external noise).
+    """
+    return {
+        "min": min(walls),
+        "median": statistics.median(walls),
+        "mean": statistics.fmean(walls),
+    }
+
+
 def run_bench(
     engine: str = "fast",
     scale: float = 1.0,
@@ -93,6 +108,7 @@ def run_bench(
         "scale": scale,
         "reps": len(walls),
         "wall_s": wall_s,
+        "wall_stats_s": wall_stats(walls),
         "walls_s": walls,
         "events": events,
         "segments": segments,

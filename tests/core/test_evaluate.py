@@ -36,3 +36,39 @@ def test_evaluate_predictor_end_to_end():
     assert set(errors) == {2.0, 4.0}
     for err in errors.values():
         assert abs(err) < 0.10
+
+
+def test_evaluate_predictor_sweep_matches_scalar():
+    program = lock_pair_program()
+    base = simulate(program, 1.0)
+    actuals = {f: simulate(program, f).total_ns for f in (1.5, 2.0, 4.0)}
+    for name in ("M+CRIT", "COOP+BURST", "DEP+BURST"):
+        predictor = make_predictor(name)
+        swept = evaluate_predictor(predictor, base.trace, actuals, sweep=True)
+        scalar = evaluate_predictor(
+            predictor, base.trace, actuals, sweep=False
+        )
+        assert swept == scalar, name
+
+
+def test_evaluate_predictor_base_freq_override():
+    program = lock_pair_program()
+    base = simulate(program, 1.0)
+    actuals = {2.0: simulate(program, 2.0).total_ns}
+    swept = evaluate_predictor(
+        make_predictor("DEP+BURST"), base.trace, actuals, base_freq_ghz=1.5
+    )
+    scalar = evaluate_predictor(
+        make_predictor("DEP+BURST"),
+        base.trace,
+        actuals,
+        base_freq_ghz=1.5,
+        sweep=False,
+    )
+    assert swept == scalar
+
+
+def test_evaluate_predictor_empty_actuals():
+    program = lock_pair_program()
+    base = simulate(program, 1.0)
+    assert evaluate_predictor(make_predictor("DEP"), base.trace, {}) == {}

@@ -1,0 +1,210 @@
+"""Sweep engine: columnar decomposition and kernels are bit-identical.
+
+The contract under test is exact equality (``==`` on floats), not
+approximate closeness: the sweep kernels must reproduce the scalar
+predictors bit for bit so cached results, golden figures and energy
+manager decisions are independent of which engine produced them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PredictionError
+from repro.core.epochs import extract_epochs
+from repro.core.predictors import get_predictor, make_predictor, predictor_names
+from repro.core.sweep import (
+    EpochArrays,
+    TraceSweep,
+    estimator_key,
+    sweep_predict_epochs,
+    sweep_total_ns,
+)
+from repro.sim.run import simulate
+from repro.workloads.dacapo import build_dacapo
+from tests.util import barrier_program, lock_pair_program
+
+#: Two real benchmark models plus two hand-built programs; 1 GHz base.
+BENCHMARKS = ("xalan", "sunflow")
+TARGETS = (0.8, 1.0, 1.3, 2.0, 2.7, 4.0)
+BASE_GHZ = 1.0
+
+
+@pytest.fixture(scope="module")
+def benchmark_traces():
+    return {
+        name: simulate(build_dacapo(name, scale=0.05), BASE_GHZ).trace
+        for name in BENCHMARKS
+    }
+
+
+@pytest.fixture(scope="module")
+def program_traces():
+    return {
+        "lock_pair": simulate(lock_pair_program(), BASE_GHZ).trace,
+        "barrier": simulate(barrier_program(), BASE_GHZ).trace,
+    }
+
+
+@pytest.fixture(scope="module")
+def all_traces(benchmark_traces, program_traces):
+    return {**benchmark_traces, **program_traces}
+
+
+def test_columnar_decomposition_matches_extract_epochs(all_traces):
+    for name, trace in all_traces.items():
+        reference = extract_epochs(trace.events)
+        arrays = EpochArrays.from_trace(trace)
+        assert arrays.to_epochs() == reference, name
+
+
+def test_columnar_fast_path_is_taken(benchmark_traces):
+    # A benchmark simulation always retains columns; the gate in
+    # from_trace must therefore use _from_columns, not the scalar walk.
+    for name, trace in benchmark_traces.items():
+        assert trace.columns is not None, name
+        direct = EpochArrays._from_columns(trace.columns)
+        assert direct.to_epochs() == extract_epochs(trace.events), name
+
+
+def test_whole_trace_sweep_matches_scalar(all_traces):
+    for name, trace in all_traces.items():
+        sweep = TraceSweep(trace)
+        for pname in predictor_names():
+            predictor = get_predictor(pname)
+            got = sweep.predict(predictor, list(TARGETS))
+            want = [
+                predictor.predict_total_ns(trace, t) for t in TARGETS
+            ]
+            assert got == want, (name, pname)
+
+
+def test_window_sweep_matches_scalar(all_traces):
+    for name, trace in all_traces.items():
+        epochs = extract_epochs(trace.events)
+        arrays = EpochArrays.from_trace(trace)
+        for pname in predictor_names():
+            predictor = get_predictor(pname)
+            got = sweep_predict_epochs(
+                predictor, arrays, BASE_GHZ, list(TARGETS)
+            )
+            want = [
+                predictor.predict_epochs(epochs, BASE_GHZ, t)
+                for t in TARGETS
+            ]
+            assert got == want, (name, pname)
+
+
+def test_window_sweep_accepts_epoch_records(program_traces):
+    trace = program_traces["lock_pair"]
+    epochs = extract_epochs(trace.events)
+    predictor = get_predictor("DEP+BURST")
+    from_records = sweep_predict_epochs(
+        predictor, epochs, BASE_GHZ, list(TARGETS)
+    )
+    from_arrays = sweep_predict_epochs(
+        predictor, EpochArrays.from_epochs(epochs), BASE_GHZ, list(TARGETS)
+    )
+    assert from_records == from_arrays
+
+
+def test_ctp_policy_respected(benchmark_traces):
+    # Across-epoch and per-epoch CTP are distinct predictors; the sweep
+    # must dispatch on the instance, not the registry name.
+    trace = benchmark_traces["xalan"]
+    sweep = TraceSweep(trace)
+    for across in (True, False):
+        predictor = make_predictor("DEP+BURST", across_epoch_ctp=across)
+        got = sweep.predict(predictor, list(TARGETS))
+        want = [predictor.predict_total_ns(trace, t) for t in TARGETS]
+        assert got == want, across
+
+
+def test_each_target_independent_of_sweep_shape(all_traces):
+    # Sweeping [a, b, c] must equal three one-target sweeps: Algorithm 1
+    # state is per target, never shared across targets.
+    trace = all_traces["xalan"]
+    sweep = TraceSweep(trace)
+    for pname in predictor_names():
+        predictor = get_predictor(pname)
+        batched = sweep.predict(predictor, list(TARGETS))
+        singles = [sweep.predict(predictor, [t])[0] for t in TARGETS]
+        assert batched == singles, pname
+
+
+def test_sweep_total_ns_convenience(program_traces):
+    trace = program_traces["barrier"]
+    predictor = get_predictor("M+CRIT")
+    want = [predictor.predict_total_ns(trace, t) for t in TARGETS]
+    assert sweep_total_ns(trace, predictor, list(TARGETS)) == want
+    assert (
+        sweep_total_ns(TraceSweep(trace), predictor, list(TARGETS)) == want
+    )
+
+
+def test_base_freq_override(program_traces):
+    trace = program_traces["lock_pair"]
+    predictor = get_predictor("DEP+BURST")
+    got = TraceSweep(trace).predict(predictor, [2.0], base_freq_ghz=1.5)
+    want = [predictor.predict_total_ns(trace, 2.0, base_freq_ghz=1.5)]
+    assert got == want
+
+
+def test_empty_epochs():
+    predictor = get_predictor("DEP+BURST")
+    assert sweep_predict_epochs(predictor, [], BASE_GHZ, [2.0, 4.0]) == [
+        0.0,
+        0.0,
+    ]
+
+
+def test_invalid_frequency_raises(program_traces):
+    trace = program_traces["lock_pair"]
+    arrays = EpochArrays.from_trace(trace)
+    predictor = get_predictor("DEP+BURST")
+    with pytest.raises(PredictionError):
+        sweep_predict_epochs(predictor, arrays, BASE_GHZ, [2.0, -1.0])
+    with pytest.raises(PredictionError):
+        sweep_predict_epochs(predictor, arrays, 0.0, [2.0])
+
+
+def test_estimator_key_known_estimators():
+    for name in predictor_names():
+        predictor = get_predictor(name)
+        if hasattr(predictor, "estimator"):
+            assert estimator_key(predictor.estimator) is not None, name
+
+
+def test_unknown_estimator_falls_back(program_traces):
+    # A hand-rolled estimator has no vector kernel; the dispatcher must
+    # run it through the scalar path rather than guess.
+    trace = program_traces["lock_pair"]
+    epochs = extract_epochs(trace.events)
+    base = get_predictor("DEP")
+
+    def odd_estimator(counters):
+        return counters.active_ns * 0.5
+
+    predictor = type(base)(
+        name="DEP+ODD",
+        estimator=odd_estimator,
+        across_epoch_ctp=base.across_epoch_ctp,
+    )
+    assert estimator_key(odd_estimator) is None
+    got = sweep_predict_epochs(predictor, epochs, BASE_GHZ, list(TARGETS))
+    want = [predictor.predict_epochs(epochs, BASE_GHZ, t) for t in TARGETS]
+    assert got == want
+
+
+def test_decomposed_cache_reused(program_traces):
+    trace = program_traces["barrier"]
+    arrays = EpochArrays.from_trace(trace)
+    predictor = get_predictor("DEP+BURST")
+    first = arrays.decomposed(predictor.estimator)
+    second = arrays.decomposed(predictor.estimator)
+    assert first[0] is second[0] and first[1] is second[1]
+
+
+def test_arrays_are_float64(benchmark_traces):
+    arrays = EpochArrays.from_trace(benchmark_traces["xalan"])
+    for field in ("wall", "crit", "leading", "stall", "sqfull"):
+        assert getattr(arrays, field).dtype == np.float64, field

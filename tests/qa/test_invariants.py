@@ -169,6 +169,6 @@ def test_governor_threshold_catches_rogue_decisions():
         # Negative predicted slowdown: non-monotone prediction.
         ManagerDecision(2, case.base_freq_ghz, 1.0, -0.5),
     ]
-    context._managed["fast"] = (None, rogue)
+    context._managed[("fast", True)] = (None, rogue)
     violations = get_invariant("governor-threshold-respect").evaluate(context)
     assert len(violations) == 3

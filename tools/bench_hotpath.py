@@ -49,7 +49,8 @@ def main(argv=None) -> int:
         help="workload length scale(s) (default REPRO_SCALE or 1.0)",
     )
     parser.add_argument("--reps", type=int, default=3,
-                        help="repetitions per engine (min is reported)")
+                        help="repetitions per engine (headline numbers use "
+                             "the min; min/median/mean are all recorded)")
     parser.add_argument("--out", default="BENCH_hotpath.json",
                         help="output JSON path")
     parser.add_argument("--engines", nargs="+", default=["fast", "classic"],
@@ -73,9 +74,11 @@ def main(argv=None) -> int:
     for entry in payload["results"]:
         speedup = entry.get("speedup_vs_baseline")
         note = f", {speedup:.2f}x vs pre-PR" if speedup else ""
+        stats = entry["wall_stats_s"]
         print(
             f"{entry['engine']:>8} @ scale {entry['scale']:g}: "
-            f"{entry['wall_s']:.3f}s "
+            f"min {stats['min']:.3f}s / median {stats['median']:.3f}s / "
+            f"mean {stats['mean']:.3f}s "
             f"({entry['events_per_sec']:,.0f} events/s, "
             f"{entry['segments_per_sec']:,.0f} segments/s{note})"
         )

@@ -161,6 +161,8 @@ def run_bench(args) -> dict:
         "errors": len(errors),
         "req_per_s": round(requests / elapsed, 1) if elapsed else 0.0,
         "latency_ms": {
+            "min": round(latencies[0] * 1e3, 3) if requests else 0.0,
+            "median": round(_quantile(latencies, 0.50) * 1e3, 3),
             "p50": round(_quantile(latencies, 0.50) * 1e3, 3),
             "p99": round(_quantile(latencies, 0.99) * 1e3, 3),
             "mean": round(sum(latencies) / requests * 1e3, 3)
