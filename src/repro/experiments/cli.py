@@ -181,6 +181,23 @@ def main(argv=None) -> int:
         help="use the scalar per-frequency prediction loops "
         "(bit-identical results, mainly for benchmarking)",
     )
+    batch_group = parser.add_mutually_exclusive_group()
+    batch_group.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=False,
+        help="simulate each benchmark's fixed-frequency fan-out as one "
+        "batched run (repro.sim.batch): the program is pre-timed once "
+        "per frequency in a single columnar pass; bit-identical results",
+    )
+    batch_group.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="one simulation per (benchmark, frequency) grid cell "
+        "(default)",
+    )
     args = parser.parse_args(argv)
     profile_path = resolve_profile_path(args.profile, "repro-experiments.pstats")
     return run_maybe_profiled(lambda: _run_suite(parser, args), profile_path)
@@ -206,7 +223,7 @@ def _run_suite(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             f"# ground truths: {len(grid)} runs, {jobs} job(s), "
             f"cache {'off' if cache is None else cache.root}"
         )
-        report = execute(runner, grid, jobs=jobs)
+        report = execute(runner, grid, jobs=jobs, batch=args.batch)
         for item, error in report.recovered:
             print(f"# worker failed on {item} ({error}); recomputed serially")
     for result in run_experiments(args.experiments, runner):

@@ -28,7 +28,8 @@ import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from functools import partial
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.experiments.cache import ResultCache
@@ -111,12 +112,38 @@ def _init_worker(config: ExperimentConfig, cache_root: str) -> None:
     _WORKER_RUNNER = ExperimentRunner(config, cache=ResultCache(cache_root))
 
 
+def _group_fixed(
+    items: Sequence[WorkItem],
+) -> Tuple[Dict[str, List[WorkItem]], List[WorkItem]]:
+    """(fixed items per benchmark, everything else) — batchable split."""
+    fixed: Dict[str, List[WorkItem]] = {}
+    rest: List[WorkItem] = []
+    for item in items:
+        if item.kind == "fixed":
+            fixed.setdefault(item.benchmark, []).append(item)
+        else:
+            rest.append(item)
+    return fixed, rest
+
+
 def _run_batch(
     batch: Sequence[WorkItem],
+    use_batch: bool = False,
 ) -> List[Tuple[WorkItem, Optional[str]]]:
     """Compute one batch in a worker; results travel via the shared cache."""
     assert _WORKER_RUNNER is not None, "worker used before initialization"
     results: List[Tuple[WorkItem, Optional[str]]] = []
+    if use_batch:
+        fixed, batch = _group_fixed(batch)
+        for bench in sorted(fixed):
+            items = fixed[bench]
+            try:
+                _WORKER_RUNNER.fixed_runs_batch(
+                    bench, [item.value for item in items]
+                )
+                results.extend((item, None) for item in items)
+            except Exception:  # contained: retry the lanes one by one
+                batch = items + list(batch)
     for item in batch:
         try:
             _apply(_WORKER_RUNNER, item)
@@ -162,12 +189,21 @@ def execute(
     runner: ExperimentRunner,
     items: Sequence[WorkItem],
     jobs: Optional[int] = None,
+    batch: bool = False,
 ) -> ExecutionReport:
     """Materialize every item in ``runner``, fanning out over ``jobs`` processes.
 
     After this returns, each item is available in ``runner``'s in-memory
     maps (and on disk when caching): drivers hit warm lookups only. With
     ``jobs=1`` — or a single item — everything runs serially in-process.
+
+    With ``batch=True``, each benchmark's fixed-frequency fan-out goes
+    through :meth:`~repro.experiments.runner.ExperimentRunner.fixed_runs_batch`
+    — one batched simulation per benchmark instead of one run per
+    frequency; results are byte-identical (managed items are governor
+    runs with per-quantum feedback and stay per-item). In workers a
+    failed batched call falls back to per-item runs before the parent's
+    serial recovery kicks in.
 
     A runner without a persistent cache gets an ephemeral one for the
     life of the process (under the system temp dir), since workers and
@@ -178,7 +214,16 @@ def execute(
     report = ExecutionReport(items=len(grid), jobs=jobs)
     if jobs == 1 or len(grid) <= 1:
         report.jobs = 1
-        for item in grid:
+        if batch:
+            fixed, rest = _group_fixed(grid)
+            for bench in sorted(fixed):
+                runner.fixed_runs_batch(
+                    bench, [item.value for item in fixed[bench]]
+                )
+            grid_serial = rest
+        else:
+            grid_serial = grid
+        for item in grid_serial:
             _apply(runner, item)
         return report
 
@@ -193,7 +238,8 @@ def execute(
         initializer=_init_worker,
         initargs=(runner.config, str(runner.cache.root)),
     ) as pool:
-        for results in pool.map(_run_batch, batches, chunksize=1):
+        run_one = partial(_run_batch, use_batch=batch)
+        for results in pool.map(run_one, batches, chunksize=1):
             for item, error in results:
                 if error is not None:
                     failures[item] = error

@@ -178,6 +178,79 @@ class ExperimentRunner:
         self._fixed[key] = run
         return run
 
+    def fixed_runs_batch(
+        self, benchmark: str, freqs_ghz: List[float]
+    ) -> List[FixedRun]:
+        """Simulate a benchmark's whole frequency fan-out in one batch.
+
+        Byte-identical to calling :meth:`fixed_run` per frequency — same
+        memo keys, same disk keys, same energy accounting — but the
+        frequencies still missing from both cache levels are simulated
+        through :func:`repro.sim.batch.run_batch` as one lane group, so
+        the program is pre-timed once per distinct frequency in a single
+        columnar pass instead of once per run. Sharing the bundle's
+        ``gc_model`` across lanes is safe for the same reason it is safe
+        across sequential :meth:`fixed_run` calls: its cycle programs are
+        keyed by (cycle index, traced bytes, copied bytes) and do not
+        depend on call order.
+        """
+        from repro.sim.batch import BatchInstance, run_batch
+
+        misses: List[Tuple[Tuple[str, float], float, Optional[str]]] = []
+        seen = set()
+        for freq_ghz in freqs_ghz:
+            key = (benchmark, round(freq_ghz, 6))
+            if key in seen or key in self._fixed:
+                continue
+            disk_key = None
+            if self.cache is not None:
+                disk_key = cache_mod.fixed_key(
+                    self.fingerprint(benchmark), freq_ghz, self.config.quantum_ns
+                )
+                run = self.cache.load_fixed(disk_key, benchmark)
+                if run is not None:
+                    self._fixed[key] = run
+                    continue
+            seen.add(key)
+            misses.append((key, freq_ghz, disk_key))
+        if misses:
+            bundle = self.bundle(benchmark)
+            results = run_batch(
+                [
+                    BatchInstance(
+                        program=bundle.program,
+                        freq_ghz=freq_ghz,
+                        spec=bundle.spec,
+                        jvm_config=bundle.jvm_config,
+                        gc_model=bundle.gc_model,
+                        quantum_ns=self.config.quantum_ns,
+                        label=f"{benchmark}@{freq_ghz}",
+                    )
+                    for _, freq_ghz, _ in misses
+                ]
+            ).results
+            self.simulations += len(misses)
+            for (key, freq_ghz, disk_key), result in zip(misses, results):
+                energy = compute_energy(
+                    result.trace, bundle.spec, self.power_model(benchmark)
+                )
+                keep_trace = any(
+                    abs(freq_ghz - base) < 1e-9 for base in _BASE_FREQS
+                )
+                run = FixedRun(
+                    benchmark=benchmark,
+                    freq_ghz=freq_ghz,
+                    total_ns=result.total_ns,
+                    gc_time_ns=result.trace.gc_time_ns,
+                    gc_cycles=result.trace.gc_cycles,
+                    energy_j=energy.total_j,
+                    trace=result.trace if keep_trace else None,
+                )
+                if self.cache is not None and disk_key is not None:
+                    self.cache.store_fixed(disk_key, run)
+                self._fixed[key] = run
+        return [self.fixed_run(benchmark, freq_ghz) for freq_ghz in freqs_ghz]
+
     def base_trace(self, benchmark: str, base_freq_ghz: float) -> SimulationTrace:
         """The retained trace of a base-frequency run (1 or 4 GHz)."""
         run = self.fixed_run(benchmark, base_freq_ghz)

@@ -203,6 +203,67 @@ def _sweep_scalar_identity(context: CaseContext) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Batched vs. single-instance simulation
+# ----------------------------------------------------------------------
+
+
+@register(
+    "batch-single-identity",
+    "simulating a case inside a batch (fixed lanes at both case "
+    "frequencies plus a governor lane) is byte-identical to the "
+    "single-instance runs: traces, epochs and manager decisions",
+)
+def _batch_single_identity(context: CaseContext) -> List[str]:
+    from repro.core.epochs import extract_epochs
+    from repro.energy.manager import EnergyManager
+    from repro.sim.batch import BatchInstance, simulate_batch
+
+    case = context.case
+    program = context.program
+    manager = EnergyManager(context.spec, case.manager)
+    freqs = list(dict.fromkeys((case.base_freq_ghz, case.high_freq_ghz)))
+    instances = [
+        BatchInstance(
+            program=program, freq_ghz=freq, spec=context.spec,
+            quantum_ns=case.quantum_ns, label=f"fixed@{freq}",
+        )
+        for freq in freqs
+    ]
+    instances.append(
+        BatchInstance(
+            program=program, governor=manager, spec=context.spec,
+            quantum_ns=case.quantum_ns, label="managed",
+        )
+    )
+    batched = simulate_batch(instances)
+
+    violations: List[str] = []
+    for freq, result in zip(freqs, batched):
+        solo = context.result(freq)
+        if _trace_bytes(result.trace) != _trace_bytes(solo.trace):
+            violations.append(
+                f"batched trace at {freq} GHz differs from the "
+                "single-instance run"
+            )
+        elif extract_epochs(result.trace.events) != context.epochs(freq):
+            violations.append(
+                f"batched epochs at {freq} GHz differ from the "
+                "single-instance decomposition"
+            )
+    solo_trace, solo_decisions = context.managed("fast")
+    if _trace_bytes(batched[-1].trace) != _trace_bytes(solo_trace):
+        violations.append(
+            "batched managed trace differs from the single-instance run"
+        )
+    if _decision_bytes(manager.decisions) != _decision_bytes(solo_decisions):
+        violations.append(
+            f"batched governor decisions ({len(manager.decisions)}) differ "
+            f"from the single-instance log ({len(solo_decisions)})"
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
 # In-process vs. served (over the NDJSON wire)
 # ----------------------------------------------------------------------
 

@@ -12,6 +12,7 @@ Ground truth for predictor evaluation is obtained by re-simulating the same
 program at the target frequency (:func:`repro.sim.run.simulate`).
 """
 
+from repro.sim.batch import BatchInstance, BatchReport, run_batch, simulate_batch
 from repro.sim.run import SimulationResult, simulate
 from repro.sim.serialize import load_trace, save_trace
 from repro.sim.system import System
@@ -19,6 +20,8 @@ from repro.sim.trace import EventKind, SimulationTrace, ThreadInfo, TraceEvent
 from repro.sim.intervals import IntervalRecord
 
 __all__ = [
+    "BatchInstance",
+    "BatchReport",
     "EventKind",
     "IntervalRecord",
     "SimulationResult",
@@ -27,6 +30,8 @@ __all__ = [
     "ThreadInfo",
     "TraceEvent",
     "load_trace",
+    "run_batch",
     "save_trace",
     "simulate",
+    "simulate_batch",
 ]

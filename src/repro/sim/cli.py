@@ -111,17 +111,29 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.sim.bench import bench_payload
+    if args.batch:
+        from repro.sim.batch_bench import bench_payload as batch_payload
 
-    payload = bench_payload(
-        scales=[args.scale], reps=args.reps, engines=args.engines
-    )
-    for entry in payload["results"]:
-        print(
-            f"{entry['engine']:>8}: {entry['wall_s']:.3f}s "
-            f"({entry['events_per_sec']:,.0f} events/s, "
-            f"{entry['segments_per_sec']:,.0f} segments/s)"
+        payload = batch_payload(scale=args.scale, reps=args.reps)
+        for entry in payload["results"]:
+            print(
+                f"{entry['workload']:>16}: sequential "
+                f"{entry['sequential_wall_s']:.3f}s -> batch "
+                f"{entry['batch_wall_s']:.3f}s = {entry['speedup']:.2f}x "
+                f"({entry['instances']} instances)"
+            )
+    else:
+        from repro.sim.bench import bench_payload
+
+        payload = bench_payload(
+            scales=[args.scale], reps=args.reps, engines=args.engines
         )
+        for entry in payload["results"]:
+            print(
+                f"{entry['engine']:>8}: {entry['wall_s']:.3f}s "
+                f"({entry['events_per_sec']:,.0f} events/s, "
+                f"{entry['segments_per_sec']:,.0f} segments/s)"
+            )
     if args.out:
         Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.out}")
@@ -186,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repetitions per engine (min is reported)")
     bench.add_argument("--engines", nargs="+", default=["fast", "classic"],
                        choices=["fast", "classic"])
+    bench.add_argument(
+        "--batch", action="store_true",
+        help="time the pinned 32-instance batched-simulation corpus "
+             "(simulate_batch vs sequential) instead of the DES hot path",
+    )
     bench.add_argument("--out", default=None,
                        help="also write the JSON payload here")
     bench.set_defaults(func=_cmd_bench)

@@ -113,6 +113,7 @@ class System:
         gc_model: Optional[GcModel] = None,
         per_core_dvfs: bool = False,
         engine: str = "fast",
+        timing_store: Optional["SharedTimingStore"] = None,
     ) -> None:
         if engine not in ("fast", "classic"):
             raise SimulationError(f"unknown engine {engine!r}")
@@ -148,7 +149,11 @@ class System:
         #: the allocator reuse frozen segment instances heavily; timing is a
         #: pure function of (segment, frequency), so results are shared. The
         #: value keeps a strong reference to the segment, which pins its id.
-        self._timing_cache: Dict[float, Dict[int, Tuple]] = {}
+        #: A batched run (repro.sim.batch) passes a SharedTimingStore so
+        #: lanes simulating the same (program, spec) share these dicts.
+        self._timing_cache: Dict[float, Dict[int, Tuple]] = (
+            timing_store.caches if timing_store is not None else {}
+        )
         #: Every Run segment of the pre-materialized thread programs; used
         #: to pre-time the whole program in one vectorized batch per
         #: frequency instead of one scalar call per (mostly unique) segment.

@@ -117,3 +117,96 @@ def test_active_ns_equals_wall_for_all_kinds():
     for seg in segments:
         timing = core.time_segment(seg, 2.0)
         assert timing.counters.active_ns == pytest.approx(timing.wall_ns)
+
+
+# ----------------------------------------------------------------------
+# Multi-frequency batch timing (time_batch_multi)
+# ----------------------------------------------------------------------
+
+
+def _mixed_segments(n_memory=40, rng_seed=5):
+    """Compute + store + memory segments with small and large clusters."""
+    import numpy as np
+
+    rng = np.random.default_rng(rng_seed)
+    segments = [
+        ComputeSegment(insns=3000, cpi=0.4),
+        ComputeSegment(insns=9000, cpi=0.7),
+        StoreBurstSegment(n_stores=2048, drain_ns_per_store=1.2),
+        StoreBurstSegment(n_stores=64, drain_ns_per_store=0.2),
+        MemorySegment.from_clusters(2000, 0.5, []),  # clusterless memory
+    ]
+    for i in range(n_memory):
+        # Mix group sizes across the small (<8) and contiguous (>=8)
+        # summation paths of the batch kernel.
+        n_clusters = int(rng.integers(1, 20))
+        clusters = [
+            MissCluster(int(rng.integers(1, 5)), float(rng.uniform(40, 400)))
+            for _ in range(n_clusters)
+        ]
+        segments.append(
+            MemorySegment.from_clusters(
+                insns=int(rng.integers(500, 20_000)),
+                cpi=float(rng.uniform(0.3, 1.0)),
+                clusters=clusters,
+            )
+        )
+    return segments
+
+
+def test_time_batch_multi_bitwise_matches_per_frequency_batch():
+    from repro.arch.segments import SegmentBatch
+
+    core = CoreModel(haswell_i7_4770k())
+    segments = _mixed_segments()
+    batch = SegmentBatch(segments)
+    freqs = [1.0, 1.375, 2.25, 3.5, 4.0]
+    multi = core.time_batch_multi(batch, freqs)
+    assert len(multi) == len(freqs)
+    for freq, timing in zip(freqs, multi):
+        single = core.time_batch(batch, freq)
+        assert timing.walls == single.walls  # exact, not approx
+        assert timing.counters == single.counters
+
+
+def test_time_batch_multi_bitwise_matches_time_segment():
+    from repro.arch.segments import SegmentBatch
+
+    core = CoreModel(haswell_i7_4770k())
+    segments = _mixed_segments(n_memory=12, rng_seed=9)
+    multi = core.time_batch_multi(SegmentBatch(segments), [1.5, 3.0])
+    for freq, timing in zip([1.5, 3.0], multi):
+        for segment, wall, counters in zip(
+            segments, timing.walls, timing.counters
+        ):
+            solo = core.time_segment(segment, freq)
+            assert wall == solo.wall_ns
+            assert counters == solo.counters
+
+
+def test_time_batch_multi_chunking_is_bit_transparent(monkeypatch):
+    from repro.arch.segments import SegmentBatch
+
+    core = CoreModel(haswell_i7_4770k())
+    segments = _mixed_segments(n_memory=60, rng_seed=13)
+    batch = SegmentBatch(segments)
+    freqs = [1.0, 4.0]
+    reference = core.time_batch_multi(batch, freqs)
+    # Force many tiny chunks: every chunk boundary must cut cleanly at a
+    # segment-group edge without changing a single bit.
+    monkeypatch.setattr(CoreModel, "_MULTI_CHUNK", 16)
+    chunked = core.time_batch_multi(batch, freqs)
+    for ref, got in zip(reference, chunked):
+        assert got.walls == ref.walls
+        assert got.counters == ref.counters
+
+
+def test_time_batch_multi_empty_inputs():
+    from repro.arch.segments import SegmentBatch
+
+    core = CoreModel(haswell_i7_4770k())
+    batch = SegmentBatch([])
+    assert core.time_batch_multi(batch, []) == []
+    (timing,) = core.time_batch_multi(batch, [2.0])
+    assert timing.walls == []
+    assert timing.counters == []

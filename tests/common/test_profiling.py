@@ -1,0 +1,61 @@
+"""Opt-in cProfile plumbing shared by the CLI tools."""
+
+import pstats
+
+import pytest
+
+from repro.common.profiling import UNSET, resolve_profile_path, run_maybe_profiled
+
+DEFAULT = "tool-default.pstats"
+
+
+def test_explicit_cli_path_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "env-path.pstats")
+    assert resolve_profile_path("cli.pstats", DEFAULT) == "cli.pstats"
+
+
+def test_bare_flag_uses_default_path():
+    assert resolve_profile_path(None, DEFAULT) == DEFAULT
+
+
+@pytest.mark.parametrize("env", [None, "", "0"])
+def test_absent_flag_and_off_env_disable(monkeypatch, env):
+    if env is None:
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_PROFILE", env)
+    assert resolve_profile_path(UNSET, DEFAULT) is None
+
+
+@pytest.mark.parametrize("env", ["1", "true", "yes"])
+def test_truthy_env_enables_with_default_path(monkeypatch, env):
+    monkeypatch.setenv("REPRO_PROFILE", env)
+    assert resolve_profile_path(UNSET, DEFAULT) == DEFAULT
+
+
+def test_env_value_used_as_path(monkeypatch):
+    monkeypatch.setenv("REPRO_PROFILE", "custom.pstats")
+    assert resolve_profile_path(UNSET, DEFAULT) == "custom.pstats"
+
+
+def test_run_unprofiled_passes_through():
+    assert run_maybe_profiled(lambda: 42, None) == 42
+
+
+def test_run_profiled_writes_pstats_dump(tmp_path, capsys):
+    path = tmp_path / "run.pstats"
+    assert run_maybe_profiled(lambda: sorted(range(100)), str(path))[0] == 0
+    assert "profile written to" in capsys.readouterr().out
+    stats = pstats.Stats(str(path))
+    assert stats.total_calls > 0
+
+
+def test_run_profiled_dumps_even_when_func_raises(tmp_path):
+    path = tmp_path / "raise.pstats"
+
+    def boom():
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError, match="boom"):
+        run_maybe_profiled(boom, str(path))
+    assert path.exists()

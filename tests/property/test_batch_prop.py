@@ -1,0 +1,91 @@
+"""Property tests: batched simulation is a pure per-lane function.
+
+Two algebraic laws pin the batch engine on fuzz-generated workloads:
+permuting the instances permutes the results (no cross-lane leakage),
+and splitting one batch into two changes nothing (sharing is purely an
+optimization). Both compare serialized trace bytes, not summaries.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.specs import haswell_i7_4770k
+from repro.qa.fuzzer import fuzz_case
+from repro.sim.batch import BatchInstance, simulate_batch
+from repro.sim.run import simulate
+from repro.sim.serialize import trace_to_dict
+
+_SPEC = haswell_i7_4770k()
+
+
+def _serialized(trace) -> bytes:
+    return json.dumps(
+        trace_to_dict(trace), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def _case_instances(seed):
+    """Both fixed-frequency lanes of one fuzz case."""
+    case = fuzz_case(seed, spec=_SPEC)
+    program = case.program()
+    return [
+        BatchInstance(
+            program=program, freq_ghz=freq, spec=_SPEC,
+            quantum_ns=case.quantum_ns, label=f"seed{seed}@{freq}",
+        )
+        for freq in dict.fromkeys((case.base_freq_ghz, case.high_freq_ghz))
+    ]
+
+
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=200), min_size=1, max_size=3,
+        unique=True,
+    ),
+    permutation=st.randoms(use_true_random=False),
+)
+@settings(max_examples=10, deadline=None)
+def test_batch_invariant_under_instance_permutation(seeds, permutation):
+    instances = [
+        instance for seed in seeds for instance in _case_instances(seed)
+    ]
+    shuffled = list(instances)
+    permutation.shuffle(shuffled)
+    by_label = {
+        instance.label: _serialized(result.trace)
+        for instance, result in zip(instances, simulate_batch(instances))
+    }
+    for instance, result in zip(shuffled, simulate_batch(shuffled)):
+        assert _serialized(result.trace) == by_label[instance.label]
+
+
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=200), min_size=2, max_size=4,
+        unique=True,
+    ),
+    cut=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=10, deadline=None)
+def test_batch_invariant_under_split(seeds, cut):
+    instances = [
+        instance for seed in seeds for instance in _case_instances(seed)
+    ]
+    cut = cut % len(instances)
+    whole = simulate_batch(instances)
+    split = simulate_batch(instances[:cut]) + simulate_batch(instances[cut:])
+    for instance, one, two in zip(instances, whole, split):
+        assert _serialized(one.trace) == _serialized(two.trace), instance.label
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=10, deadline=None)
+def test_batched_lane_matches_solo_simulation(seed):
+    instances = _case_instances(seed)
+    for instance, result in zip(instances, simulate_batch(instances)):
+        solo = simulate(
+            instance.program, instance.freq_ghz, spec=_SPEC,
+            quantum_ns=instance.quantum_ns,
+        )
+        assert _serialized(result.trace) == _serialized(solo.trace)

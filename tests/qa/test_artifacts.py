@@ -1,0 +1,96 @@
+"""Repro artifacts: JSON round-trip, versioning and disk I/O."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.qa.artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    Failure,
+    ReproArtifact,
+    artifact_from_dict,
+    artifact_to_dict,
+    load_artifact,
+    save_artifact,
+)
+from repro.qa.fuzzer import fuzz_case
+
+
+def _artifact(seed=11, with_original=True):
+    original = fuzz_case(seed)
+    shrunk = original.with_config(original.config.scaled(0.5))
+    return ReproArtifact(
+        case=shrunk,
+        failures=[
+            Failure("epoch-conservation", ["epoch 3 leaks 12 ns"]),
+            Failure("diff-engine-trace"),
+        ],
+        original=original if with_original else None,
+        shrink_delta=["n_units 24 -> 12"],
+    )
+
+
+def test_seed_and_failing_names_views():
+    artifact = _artifact(seed=11)
+    assert artifact.seed == 11
+    assert artifact.failing_names() == [
+        "epoch-conservation",
+        "diff-engine-trace",
+    ]
+
+
+def test_dict_round_trip_preserves_everything():
+    artifact = _artifact()
+    payload = artifact_to_dict(artifact)
+    assert payload["format_version"] == ARTIFACT_FORMAT_VERSION
+    assert payload["kind"] == "repro-qa-artifact"
+    restored = artifact_from_dict(payload)
+    assert restored.case == artifact.case
+    assert restored.original == artifact.original
+    assert restored.failures == artifact.failures
+    assert restored.shrink_delta == artifact.shrink_delta
+
+
+def test_original_case_is_optional():
+    payload = artifact_to_dict(_artifact(with_original=False))
+    assert "original_case" not in payload
+    assert artifact_from_dict(payload).original is None
+
+
+@pytest.mark.parametrize(
+    "doctor",
+    [
+        {"kind": "something-else"},
+        {"format_version": ARTIFACT_FORMAT_VERSION + 1},
+        {"kind": None},
+    ],
+)
+def test_wrong_kind_or_version_rejected(doctor):
+    payload = artifact_to_dict(_artifact())
+    payload.update(doctor)
+    with pytest.raises(ConfigError, match="repro-qa artifact"):
+        artifact_from_dict(payload)
+
+
+def test_save_then_load_round_trips(tmp_path):
+    artifact = _artifact(seed=23)
+    path = save_artifact(artifact, tmp_path / "nested" / "dir")
+    assert path.name == "qa-seed-23.json"
+    on_disk = json.loads(path.read_text(encoding="utf-8"))
+    assert on_disk["seed"] == 23
+    restored = load_artifact(path)
+    assert restored.case == artifact.case
+    assert restored.failing_names() == artifact.failing_names()
+
+
+def test_load_missing_file_is_config_error(tmp_path):
+    with pytest.raises(ConfigError, match="cannot read artifact"):
+        load_artifact(tmp_path / "absent.json")
+
+
+def test_load_malformed_json_is_config_error(tmp_path):
+    path = tmp_path / "garbage.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ConfigError, match="cannot read artifact"):
+        load_artifact(path)

@@ -29,6 +29,7 @@ DIFFERENTIAL = [
     "diff-engine-trace",
     "diff-engine-governor",
     "diff-predict-vectorized",
+    "batch-single-identity",
     "diff-serve-predict",
     "diff-serve-governor",
 ]
@@ -156,6 +157,39 @@ def test_cross_frequency_rejects_larger_gc_drift():
     )
     violations = get_invariant("cross-frequency-conservation").evaluate(context)
     assert any("GC counts" in v for v in violations)
+
+
+def test_batch_single_identity_holds_on_fuzzed_case():
+    case = fuzz_case(0)
+    violations = get_invariant("batch-single-identity").evaluate(
+        CaseContext(case)
+    )
+    assert violations == []
+
+
+def test_batch_single_identity_catches_divergent_lane(monkeypatch):
+    import repro.sim.batch as batch_mod
+
+    # A batch runner that hands back the right results in the wrong
+    # order is exactly the bug class this invariant exists to catch.
+    original = batch_mod.simulate_batch
+    monkeypatch.setattr(
+        batch_mod,
+        "simulate_batch",
+        lambda instances: list(reversed(original(instances))),
+    )
+    violations = get_invariant("batch-single-identity").evaluate(
+        CaseContext(fuzz_case(1))
+    )
+    assert any("batched trace" in v for v in violations)
+
+
+def test_batch_single_identity_in_default_resolution():
+    # run_qa with no explicit selection must include the batch
+    # differential — that is what puts it in the CI fuzz smoke.
+    assert "batch-single-identity" in [
+        invariant.name for invariant in resolve_invariants(None)
+    ]
 
 
 def test_governor_threshold_catches_rogue_decisions():

@@ -1,0 +1,97 @@
+"""Batched-simulation benchmark: simulate_batch vs 32 sequential runs.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_batch.py                    # full scale
+    REPRO_SCALE=0.5 PYTHONPATH=src python tools/bench_batch.py --reps 3
+    python tools/bench_batch.py --check BENCH_batch.json          # CI gate
+
+Times the pinned 32-instance corpus (four synthetic memory-heavy
+families × eight chip set points; see ``repro.sim.batch_bench``) two
+ways: one :func:`repro.sim.run.simulate` call per instance (the pre-batch
+cost of a figure grid or fuzz corpus) versus one
+:func:`repro.sim.batch.simulate_batch` call for the whole corpus. Both
+sides produce byte-identical traces — the run aborts with FATAL if not —
+so the only thing measured is where the time goes.
+
+``BENCH_batch.json`` commits the result. With ``--check BASELINE`` a
+fresh run is compared against the committed baseline and the run exits
+non-zero when the speedup falls below 70% of baseline *and* below the
+3x absolute floor this PR guarantees — the CI bench-batch gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.batch_bench import bench_payload  # noqa: E402
+
+#: CI fails when the speedup drops below this fraction of the baseline...
+REGRESSION_FLOOR = 0.70
+#: ...unless it still clears the absolute floor the issue guarantees.
+ABSOLUTE_FLOORS = {"batch_corpus_32": 3.0}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", type=float,
+        default=float(os.environ.get("REPRO_SCALE", "1.0")),
+        help="workload length scale (default REPRO_SCALE or 1.0)",
+    )
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per side (headline numbers use "
+                             "the min; min/median/mean are all recorded)")
+    parser.add_argument("--out", default="BENCH_batch.json",
+                        help="output JSON path")
+    parser.add_argument(
+        "--check", metavar="BASELINE_JSON", default=None,
+        help="compare the corpus speedup against a committed baseline "
+             "file; exit 1 on a >30%% regression below the absolute floor",
+    )
+    args = parser.parse_args(argv)
+
+    payload = bench_payload(scale=args.scale, reps=args.reps)
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    for entry in payload["results"]:
+        print(
+            f"{entry['workload']:>16}: sequential "
+            f"{entry['sequential_wall_s']:.3f}s -> batch "
+            f"{entry['batch_wall_s']:.3f}s = {entry['speedup']:.2f}x "
+            f"({entry['instances']} instances)"
+        )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        base_by_name = {e["workload"]: e for e in baseline["results"]}
+        failed = False
+        for entry in payload["results"]:
+            base = base_by_name.get(entry["workload"])
+            if base is None:
+                continue
+            ratio = entry["speedup"] / base["speedup"]
+            floor = ABSOLUTE_FLOORS.get(entry["workload"], 0.0)
+            print(
+                f"{entry['workload']}: speedup {entry['speedup']:.2f}x vs "
+                f"baseline {base['speedup']:.2f}x = {ratio:.2f} "
+                f"(ratio floor {REGRESSION_FLOOR:.2f}, "
+                f"absolute floor {floor:.1f}x)"
+            )
+            if ratio < REGRESSION_FLOOR and entry["speedup"] < floor:
+                failed = True
+        if failed:
+            print("FAIL: batch speedup regressed by more than 30%")
+            return 1
+        print("ok: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
