@@ -29,8 +29,6 @@ The default location is ``~/.cache/repro``, overridable with the
 from __future__ import annotations
 
 import dataclasses
-import enum
-import hashlib
 import json
 import os
 import shutil
@@ -39,6 +37,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
 
+from repro.common.store import (  # noqa: F401 — canonical/stable_hash are
+    atomic_write_text,            # this module's historical public API
+    canonical,
+    stable_hash,
+    unlink_quiet,
+)
 from repro.sim.serialize import FORMAT_VERSION, load_trace, save_trace
 
 if TYPE_CHECKING:  # runner imports this module; keep the cycle import-time free
@@ -61,49 +65,8 @@ def default_cache_dir() -> Path:
 
 
 # ----------------------------------------------------------------------
-# Canonical hashing
+# Content keys (canonical hashing now lives in repro.common.store)
 # ----------------------------------------------------------------------
-
-
-def canonical(obj: Any) -> Any:
-    """Reduce ``obj`` to a JSON-stable structure.
-
-    Dataclasses become ``{field: value}`` dicts (recursively), enums their
-    values, tuples/sets ordered lists — so two objects that compare equal
-    canonicalize identically regardless of construction or field order.
-    Unsupported types raise ``TypeError``: a cache key must never silently
-    depend on ``repr`` noise such as memory addresses.
-    """
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return {
-            field.name: canonical(getattr(obj, field.name))
-            for field in dataclasses.fields(obj)
-        }
-    if isinstance(obj, enum.Enum):
-        return canonical(obj.value)
-    if isinstance(obj, dict):
-        return {str(key): canonical(value) for key, value in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [canonical(item) for item in obj]
-    if isinstance(obj, (set, frozenset)):
-        return sorted(canonical(item) for item in obj)
-    if isinstance(obj, Path):
-        return str(obj)
-    if obj is None or isinstance(obj, (bool, int, float, str)):
-        return obj
-    raise TypeError(f"cannot canonicalize {type(obj).__name__!r} for hashing")
-
-
-def stable_hash(obj: Any) -> str:
-    """SHA-256 hex digest of ``obj``'s canonical JSON form.
-
-    Invariant under dict insertion order and dataclass field order;
-    sensitive to every value reachable from ``obj``.
-    """
-    payload = json.dumps(
-        canonical(obj), sort_keys=True, separators=(",", ":"), allow_nan=True
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def fixed_key(fingerprint: Dict[str, Any], freq_ghz: float, quantum_ns: float) -> str:
@@ -213,17 +176,7 @@ class ResultCache:
     # -- atomic plumbing ----------------------------------------------
 
     def _publish_text(self, path: Path, text: str) -> None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except BaseException:
-            _unlink_quiet(Path(tmp))
-            raise
+        atomic_write_text(path, text)
 
     def _publish_trace(self, path: Path, trace) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -235,7 +188,7 @@ class ResultCache:
             save_trace(trace, tmp)
             os.replace(tmp, path)
         except BaseException:
-            _unlink_quiet(Path(tmp))
+            unlink_quiet(Path(tmp))
             raise
 
     def _read_entry(self, path: Path, key: str) -> Optional[Dict]:
@@ -255,8 +208,8 @@ class ResultCache:
     def _reject(self, summary: Path) -> None:
         """Drop a corrupt entry (and its sidecar) so it is rebuilt cleanly."""
         self.stats.errors += 1
-        _unlink_quiet(summary)
-        _unlink_quiet(self._trace_path(summary))
+        unlink_quiet(summary)
+        unlink_quiet(self._trace_path(summary))
 
     # -- fixed runs ----------------------------------------------------
 
@@ -398,13 +351,6 @@ class ResultCache:
                     removed += sum(1 for p in child.rglob("*") if p.is_file())
                     shutil.rmtree(child, ignore_errors=True)
         return removed
-
-
-def _unlink_quiet(path: Path) -> None:
-    try:
-        path.unlink()
-    except OSError:
-        pass
 
 
 def describe(cache: ResultCache) -> str:

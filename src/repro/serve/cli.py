@@ -5,10 +5,17 @@ Examples::
     repro-serve --socket /tmp/repro.sock
     repro-serve --host 127.0.0.1 --port 7091 --max-batch 128 --max-delay-ms 1
     repro-serve --socket /tmp/repro.sock --log-interval 10
+    repro-serve --socket /tmp/repro.sock --workers 4 --shared-predict-cache
+
+With ``--workers N`` (N > 1) the process becomes a pool driver: it
+spawns N worker processes (:mod:`repro.serve.pool`), shares the TCP
+port via ``SO_REUSEPORT`` or fronts the unix socket with a routing
+frontend (:mod:`repro.serve.frontend`), and aggregates fleet metrics so
+``stats`` against any endpoint reports the whole pool.
 
 The process runs until SIGINT/SIGTERM, then shuts down cleanly (closing
-listeners and live connections). ``--profile`` wraps the whole run in
-cProfile like the other repro CLIs.
+listeners, live connections and — in pool mode — every worker).
+``--profile`` wraps the whole run in cProfile like the other repro CLIs.
 """
 
 from __future__ import annotations
@@ -20,9 +27,12 @@ import logging
 import os
 import signal
 import sys
+import threading
 
 from repro.common.errors import ConfigError
 from repro.common.profiling import UNSET, resolve_profile_path, run_maybe_profiled
+from repro.serve.frontend import BackgroundFrontend, Frontend
+from repro.serve.pool import WorkerPool
 from repro.serve.server import ServeConfig, Server
 
 
@@ -54,6 +64,22 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="emit a structured stats log line every N "
                         "seconds (0 disables)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = in-process "
+                        "server; >1 spawns a pool sharing the listener)")
+    parser.add_argument("--fleet-dir", default=None, metavar="DIR",
+                        help="shared directory for cross-worker metrics "
+                        "snapshots (pool mode provisions one when unset)")
+    parser.add_argument("--predict-cache-mem", type=int, default=0,
+                        metavar="N",
+                        help="entries of the in-process prediction-cache "
+                        "LRU (0 disables the memory tier)")
+    parser.add_argument("--predict-cache-dir", default=None, metavar="DIR",
+                        help="shared directory of the cross-worker "
+                        "prediction cache (file tier)")
+    parser.add_argument("--shared-predict-cache", action="store_true",
+                        help="pool mode: provision a pool-owned shared "
+                        "prediction-cache directory (implies the file tier)")
     parser.add_argument("--profile", nargs="?", default=UNSET, metavar="PSTATS",
                         help="profile the run with cProfile; optional dump "
                         "path (default repro-serve.pstats; REPRO_PROFILE=1 "
@@ -63,6 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def config_from_args(args: argparse.Namespace) -> ServeConfig:
     """Translate CLI flags into a ServeConfig."""
+    if args.workers < 1:
+        raise ConfigError("--workers must be >= 1")
     return ServeConfig(
         socket_path=args.socket,
         host=args.host,
@@ -73,6 +101,10 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         queue_depth=args.queue_depth,
         max_sessions=args.max_sessions,
         log_interval_s=args.log_interval,
+        n_workers=args.workers,
+        fleet_dir=args.fleet_dir,
+        predict_cache_mem=args.predict_cache_mem,
+        predict_cache_dir=args.predict_cache_dir,
     )
 
 
@@ -95,6 +127,42 @@ async def _run(config: ServeConfig) -> int:
     return 0
 
 
+def _run_pool(config: ServeConfig, n_workers: int, shared_cache: bool) -> int:
+    """Drive a worker pool (and, in unix mode, its routing frontend)."""
+    pool = WorkerPool(config, n_workers, shared_cache=shared_cache)
+    frontend: "BackgroundFrontend | None" = None
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    pool.start()
+    try:
+        if pool.unix_mode:
+            frontend = BackgroundFrontend(Frontend(
+                pool.worker_paths(),
+                socket_path=config.socket_path,
+                host=config.host,
+                port=config.port,
+                max_frame_bytes=config.max_frame_bytes,
+            ))
+            endpoints = frontend.start()
+        else:
+            endpoints = [f"tcp:{pool.base.host}:{pool.base.port}"]
+        print(
+            f"repro-serve ready on {', '.join(endpoints)} "
+            f"({n_workers} workers)",
+            flush=True,
+        )
+        stop.wait()
+    finally:
+        if frontend is not None:
+            frontend.stop()
+        pool.stop()
+        if config.socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(config.socket_path)
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -109,6 +177,11 @@ def main(argv=None) -> int:
     except ConfigError as exc:
         parser.error(str(exc))
     profile_path = resolve_profile_path(args.profile, "repro-serve.pstats")
+    if args.workers > 1:
+        return run_maybe_profiled(
+            lambda: _run_pool(config, args.workers, args.shared_predict_cache),
+            profile_path,
+        )
     return run_maybe_profiled(lambda: asyncio.run(_run(config)), profile_path)
 
 

@@ -1,0 +1,71 @@
+"""Fleet-wide metrics exchange for pooled serve workers.
+
+Workers are separate processes; there is no shared memory and no peer
+networking between them. What they do share is a directory. Each worker
+periodically publishes its :meth:`~repro.serve.metrics.MetricsRegistry.
+snapshot` there (atomic rename, one file per worker), and any worker
+answering a ``stats`` request reads its peers' latest snapshots and
+merges them into a fleet view (:func:`repro.serve.metrics.
+merge_snapshots`). Peers' numbers can be up to one publish interval
+stale; the publisher's own snapshot is always fresh, and every ``stats``
+request forces an immediate publish so an external poller that asks each
+worker in turn converges on exact totals.
+
+Corrupt or half-written files are skipped (atomic renames make those
+rare); a missing peer file simply means that worker has not published
+yet (or died — its last snapshot continues to represent it until the
+pool is torn down).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.common.store import atomic_write_text
+
+_PathLike = Union[str, Path]
+
+
+class FleetDirectory:
+    """One worker's handle on the shared metrics directory."""
+
+    def __init__(self, root: _PathLike) -> None:
+        self.root = Path(root)
+
+    def _path(self, worker_id: int) -> Path:
+        return self.root / f"metrics-w{worker_id}.json"
+
+    def publish(self, worker_id: int, snapshot: Dict[str, Any]) -> None:
+        """Atomically publish one worker's metrics snapshot."""
+        document = dict(snapshot, worker_id=worker_id, published_at=time.time())
+        atomic_write_text(
+            self._path(worker_id), json.dumps(document, separators=(",", ":"))
+        )
+
+    def read(self, worker_id: int) -> Optional[Dict[str, Any]]:
+        """One worker's latest snapshot, or None (absent/corrupt)."""
+        try:
+            document = json.loads(self._path(worker_id).read_text("utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict) or document.get("worker_id") != worker_id:
+            return None
+        return document
+
+    def read_all(self) -> Dict[int, Dict[str, Any]]:
+        """Every published snapshot, keyed by worker id."""
+        snapshots: Dict[int, Dict[str, Any]] = {}
+        if not self.root.is_dir():
+            return snapshots
+        for path in sorted(self.root.glob("metrics-w*.json")):
+            try:
+                worker_id = int(path.stem[len("metrics-w"):])
+            except ValueError:
+                continue
+            snapshot = self.read(worker_id)
+            if snapshot is not None:
+                snapshots[worker_id] = snapshot
+        return snapshots

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 
 class Histogram:
@@ -72,6 +72,34 @@ class Histogram:
             "p99": self.quantile(0.99),
         }
 
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its snapshot (inverse of snapshot())."""
+        histogram = cls([float(b) for b in snapshot["bounds"]])
+        counts = [int(c) for c in snapshot["counts"]]
+        if len(counts) != len(histogram.counts):
+            raise ValueError("snapshot counts do not match bounds")
+        histogram.counts = counts
+        histogram.total = int(snapshot["count"])
+        histogram.sum = float(snapshot["sum"])
+        histogram.max = float(snapshot["max"])
+        return histogram
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another instance's snapshot into this histogram.
+
+        Requires identical bucket bounds (all pool workers inherit the
+        same config); quantiles of the merged population come out of
+        :meth:`quantile` as usual.
+        """
+        other = Histogram.from_snapshot(snapshot)
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.total += other.total
+        self.sum += other.sum
+        self.max = max(self.max, other.max)
+
 
 def latency_histogram() -> Histogram:
     """Log-spaced latency buckets from 50 us to ~13 s (seconds)."""
@@ -123,6 +151,9 @@ class MetricsRegistry:
         self.overloaded = 0
         self.sessions_opened = 0
         self.sessions_active = 0
+        self.predict_cache_hits = 0
+        self.predict_cache_misses = 0
+        self.predict_cache_stores = 0
         self._last_log = dict(self._totals(), at=self.started_at)
 
     def endpoint(self, kind: str) -> EndpointMetrics:
@@ -157,6 +188,11 @@ class MetricsRegistry:
             },
             "frames_rejected": self.frames_rejected,
             "overloaded": self.overloaded,
+            "predict_cache": {
+                "hits": self.predict_cache_hits,
+                "misses": self.predict_cache_misses,
+                "stores": self.predict_cache_stores,
+            },
             "batch_size": self.batch_sizes.snapshot(),
             "endpoints": {
                 kind: metrics.snapshot()
@@ -176,3 +212,115 @@ class MetricsRegistry:
         window["sessions_active"] = self.sessions_active
         self._last_log = dict(totals, at=now)
         return "repro-serve stats " + json.dumps(window, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Fleet aggregation (multi-worker pools)
+# ----------------------------------------------------------------------
+
+#: Scalar counters summed across workers when merging snapshots.
+_SUMMED_COUNTERS = ("frames_rejected", "overloaded")
+
+
+def _merge_endpoint(
+    merged: Dict[str, Any], snapshot: Mapping[str, Any]
+) -> Dict[str, Any]:
+    merged["requests"] += int(snapshot.get("requests", 0))
+    for code, count in (snapshot.get("errors") or {}).items():
+        merged["errors"][code] = merged["errors"].get(code, 0) + int(count)
+    merged["_latency"].merge(snapshot["latency_s"])
+    return merged
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, Any]]
+) -> Dict[str, Any]:
+    """Fold per-worker ``stats`` snapshots into one fleet-wide snapshot.
+
+    Counters sum; histograms merge bucket-wise (quantiles recomputed over
+    the merged population); ``uptime_s`` reports the oldest worker. The
+    result has the same shape as one worker's snapshot plus a
+    ``workers_reporting`` count, so dashboards can read either
+    interchangeably.
+    """
+    snapshots = list(snapshots)
+    merged: Dict[str, Any] = {
+        "workers_reporting": len(snapshots),
+        "uptime_s": 0.0,
+        "connections": {"opened": 0, "active": 0},
+        "sessions": {"opened": 0, "active": 0},
+        "frames_rejected": 0,
+        "overloaded": 0,
+        "predict_cache": {"hits": 0, "misses": 0, "stores": 0},
+        "endpoints": {},
+    }
+    batch: Optional[Histogram] = None
+    endpoint_merged: Dict[str, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        merged["uptime_s"] = max(
+            merged["uptime_s"], float(snapshot.get("uptime_s", 0.0))
+        )
+        for group in ("connections", "sessions"):
+            for field in ("opened", "active"):
+                merged[group][field] += int(
+                    (snapshot.get(group) or {}).get(field, 0)
+                )
+        for counter in _SUMMED_COUNTERS:
+            merged[counter] += int(snapshot.get(counter, 0))
+        for field in ("hits", "misses", "stores"):
+            merged["predict_cache"][field] += int(
+                (snapshot.get("predict_cache") or {}).get(field, 0)
+            )
+        if "batch_size" in snapshot:
+            if batch is None:
+                batch = Histogram.from_snapshot(snapshot["batch_size"])
+            else:
+                batch.merge(snapshot["batch_size"])
+        for kind, endpoint in (snapshot.get("endpoints") or {}).items():
+            bucket = endpoint_merged.get(kind)
+            if bucket is None:
+                bucket = {
+                    "requests": 0,
+                    "errors": {},
+                    "_latency": Histogram.from_snapshot(
+                        endpoint["latency_s"]
+                    ),
+                }
+                # Zero the seed histogram: the loop below re-merges it.
+                bucket["_latency"].counts = [0] * len(
+                    bucket["_latency"].counts
+                )
+                bucket["_latency"].total = 0
+                bucket["_latency"].sum = 0.0
+                bucket["_latency"].max = 0.0
+                endpoint_merged[kind] = bucket
+            _merge_endpoint(bucket, endpoint)
+    if batch is not None:
+        merged["batch_size"] = batch.snapshot()
+    for kind, bucket in sorted(endpoint_merged.items()):
+        latency = bucket.pop("_latency")
+        bucket["latency_s"] = latency.snapshot()
+        merged["endpoints"][kind] = bucket
+    return merged
+
+
+def worker_summary(snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    """The compact per-worker row of a fleet ``stats`` reply."""
+    endpoints = snapshot.get("endpoints") or {}
+    predict = endpoints.get("predict") or {}
+    cache = snapshot.get("predict_cache") or {}
+    return {
+        "requests": sum(
+            int(e.get("requests", 0)) for e in endpoints.values()
+        ),
+        "predict_requests": int(predict.get("requests", 0)),
+        "overloaded": int(snapshot.get("overloaded", 0)),
+        "connections_active": int(
+            (snapshot.get("connections") or {}).get("active", 0)
+        ),
+        "sessions_active": int(
+            (snapshot.get("sessions") or {}).get("active", 0)
+        ),
+        "cache_hits": int(cache.get("hits", 0)),
+        "published_at": snapshot.get("published_at"),
+    }

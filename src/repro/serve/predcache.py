@@ -1,0 +1,231 @@
+"""Cross-worker shared prediction cache for the serve tier.
+
+Prediction is pure: the reply to a ``predict`` request is a function of
+the request payload, the machine spec and the prediction-kernel
+revision. That makes replies cacheable across *processes* — a governor
+fleet asking the same question twice (or two workers asked the same
+question once each) should pay the vectorized evaluation exactly once.
+
+Keys follow the repo's content-addressing discipline
+(:func:`repro.common.store.stable_hash`): a SHA-256 over the wire-form
+payload fields plus the spec fingerprint, the sweep-kernel
+``KERNEL_VERSION`` (the PR 5 prediction fingerprint — a kernel revision
+must never replay another revision's results) and this module's schema
+version.
+
+Values are the **pre-encoded JSON result fragments** the server would
+have written, not re-parsed objects: a cache hit splices the cold
+compute's exact bytes into the reply envelope, so hits are repr-exact
+equal to cold computes by construction — byte-identical, not just
+value-equal. The fast path also skips epoch revalidation: a stored
+fragment proves the payload it is keyed by already parsed cleanly once.
+
+The backing store is a :class:`repro.common.store.TieredStore` — a
+per-worker in-process LRU over an optional file-backed shared directory
+all pool workers point at.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.common.store import (
+    FileStore,
+    MemoryLRU,
+    TieredStore,
+    stable_hash,
+)
+
+#: Bump when the predict reply schema or the keyed fields change: every
+#: existing entry becomes unreachable instead of replaying a stale shape.
+PREDICT_CACHE_SCHEMA = 1
+
+_ID_TOKEN = b',"id":'
+
+
+def split_raw_line(line: bytes) -> Optional[Tuple[bytes, bytes]]:
+    """Split a wire line into ``(id-stripped prefix, id digits)``.
+
+    Matches only frames whose *last* member is an unsigned-integer
+    ``"id"``: the line must end with ``,"id":<digits>}\\n``. In valid
+    JSON that suffix can only be the root object's trailing member —
+    a nested object would be followed by more closing brackets, a key
+    merely ending in ``id`` breaks the ``,"`` anchor, and a string
+    value cannot end in bare digits before the final brace. So two
+    lines with equal prefixes are the *same request* (modulo id), which
+    is what makes the prefix safe to key a byte-exact reply memo by.
+
+    Anything else (id elsewhere, non-integer id, leading zeros — not
+    valid JSON — or unusual whitespace) returns None and takes the
+    ordinary parse path; the memo can only miss, never mis-hit.
+    """
+    if not line.endswith(b"}\n"):
+        return None
+    i = line.rfind(_ID_TOKEN)
+    if i <= 0:
+        return None
+    digits = line[i + len(_ID_TOKEN):-2]
+    if not digits.isdigit():
+        return None
+    if digits[:1] == b"0" and len(digits) > 1:
+        return None
+    return line[:i] + b"}", digits
+
+
+class RawLineMemo:
+    """LRU of id-stripped request lines -> pre-encoded result fragments.
+
+    The L0 tier of the prediction cache: a repeat of a byte-identical
+    predict request is answered without touching ``json`` at all — no
+    decode of the frame, no canonical dump for the semantic key. Entries
+    are only ever populated from a reply that went through the semantic
+    cache, so a memo hit replays exactly the bytes a cold compute wrote.
+    Keys and values are bytes; per-process only (never shared on disk).
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("raw memo needs max_entries >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[bytes, bytes]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, prefix: bytes) -> Optional[bytes]:
+        fragment = self._entries.get(prefix)
+        if fragment is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(prefix)
+        self.hits += 1
+        return fragment
+
+    def put(self, prefix: bytes, fragment: bytes) -> None:
+        self._entries[prefix] = fragment
+        self._entries.move_to_end(prefix)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def kernel_fingerprint() -> Dict[str, Any]:
+    """The prediction-engine identity that participates in every key."""
+    from repro.core.sweep import KERNEL_VERSION
+
+    return {"engine": "vectorized", "kernel_version": KERNEL_VERSION}
+
+
+def spec_fingerprint(spec: Any) -> str:
+    """Content hash of the machine spec predictions are evaluated under."""
+    return stable_hash(spec)
+
+
+class PredictionCache:
+    """Tiered (LRU + optional shared-file) store of predict result fragments."""
+
+    def __init__(
+        self,
+        spec: Any,
+        shared_dir: Optional[str] = None,
+        max_memory_entries: int = 4096,
+    ) -> None:
+        tiers: list = []
+        if max_memory_entries > 0:
+            tiers.append(MemoryLRU(max_entries=max_memory_entries))
+        if shared_dir is not None:
+            tiers.append(FileStore(shared_dir, prefix="predict"))
+        if not tiers:
+            raise ValueError(
+                "prediction cache needs a memory tier and/or a shared_dir"
+            )
+        self.store = TieredStore(tiers)
+        # The raw-line memo rides on the memory budget: a file-tier-only
+        # cache (max_memory_entries=0) keeps nothing in process, memo
+        # included.
+        self.raw: Optional[RawLineMemo] = (
+            RawLineMemo(max_memory_entries) if max_memory_entries > 0 else None
+        )
+        self._identity = {
+            "schema": PREDICT_CACHE_SCHEMA,
+            "kernel": kernel_fingerprint(),
+            "spec": spec_fingerprint(spec),
+        }
+
+    # ------------------------------------------------------------------
+
+    def key_for(self, frame: Mapping[str, Any]) -> Optional[str]:
+        """Content key of one predict request frame (None = uncacheable).
+
+        Hashes the raw wire values — *before* validation — so the lookup
+        can run ahead of epoch parsing on the hot path. Conservative by
+        construction: two frames that differ at all (``1`` vs ``1.0``,
+        field order aside) key differently, which can only cause a miss,
+        never a wrong hit. Frames whose payload fields are not plain JSON
+        data (and would fail validation anyway) return ``None``.
+
+        The hash is ``json.dumps(..., sort_keys=True)`` fed to SHA-256
+        directly rather than :func:`repro.common.store.stable_hash`:
+        frame values just came out of ``json.loads``, so the recursive
+        ``canonical()`` pass would be a (surprisingly expensive) identity
+        transform — the C encoder computes the same canonical text in a
+        fraction of the time, and non-JSON values raise the same
+        ``TypeError``.
+        """
+        try:
+            payload = json.dumps(
+                {
+                    "identity": self._identity,
+                    "predictor": frame.get("predictor", "DEP+BURST"),
+                    "across_epoch_ctp": frame.get("across_epoch_ctp", True),
+                    "base_freq_ghz": frame.get("base_freq_ghz"),
+                    "target_freqs_ghz": frame.get("target_freqs_ghz"),
+                    "epochs": frame.get("epochs"),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+                allow_nan=True,
+            )
+        except (TypeError, ValueError):
+            return None
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The stored result fragment for ``key``, or None.
+
+        Fragments from the file tier may have been corrupted after the
+        envelope was written; a fragment that is not a JSON object text
+        is rejected (miss) rather than spliced into a reply.
+        """
+        fragment = self.store.get(key)
+        if fragment is None:
+            return None
+        text = fragment.strip()
+        if not (text.startswith("{") and text.endswith("}")):
+            return None
+        return fragment
+
+    def record(self, key: str, result: Mapping[str, Any]) -> str:
+        """Serialize ``result`` once, store the fragment, and return it."""
+        fragment = json.dumps(result, separators=(",", ":"), allow_nan=False)
+        self.store.put(key, fragment)
+        return fragment
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/store counters: overall plus per tier."""
+        overall = self.store.stats.as_dict()
+        overall["tiers"] = self.store.tier_stats()
+        if self.raw is not None:
+            overall["raw_memo"] = self.raw.stats()
+        return overall

@@ -21,6 +21,7 @@ from repro.energy.manager import (
     ManagerDecision,
 )
 from repro.serve.protocol import ProtocolError
+from repro.serve.sharding import tag_session_id
 from repro.sim.intervals import IntervalRecord
 
 #: ManagerConfig fields settable over the wire.
@@ -71,11 +72,24 @@ def decision_to_wire(decision: ManagerDecision) -> Dict[str, Any]:
 
 
 class SessionStore:
-    """All live governor sessions of one server."""
+    """All live governor sessions of one server.
 
-    def __init__(self, spec: MachineSpec, max_sessions: int = 1024) -> None:
+    In a worker pool, ``worker_id`` embeds this worker's identity in
+    every minted session id (``g3@w1``) so frontends and sharded clients
+    can route follow-up ``step``/``close`` frames statelessly — see
+    :mod:`repro.serve.sharding`. Standalone servers keep the historical
+    bare ``g<N>`` ids.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        max_sessions: int = 1024,
+        worker_id: Optional[int] = None,
+    ) -> None:
         self.spec = spec
         self.max_sessions = max_sessions
+        self.worker_id = worker_id
         self._sessions: Dict[str, EnergyManagerSession] = {}
         self._next_id = 0
         self.opened = 0
@@ -99,6 +113,8 @@ class SessionStore:
         session = EnergyManagerSession(self.spec, config, predictor=predictor)
         self._next_id += 1
         session_id = f"g{self._next_id}"
+        if self.worker_id is not None:
+            session_id = tag_session_id(session_id, self.worker_id)
         self._sessions[session_id] = session
         self.opened += 1
         return session_id

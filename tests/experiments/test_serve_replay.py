@@ -1,0 +1,51 @@
+"""The serve replay-parity experiment on a miniature configuration.
+
+The driver is a correctness gate: it raises unless the single server
+*and* the two-worker pool reproduce the in-process governor's decision
+log byte-for-byte. Running it here (small scale, one benchmark, one
+threshold) exercises the full topology stack end to end.
+"""
+
+import socket
+
+import pytest
+
+from repro.experiments import serve_replay
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def result():
+    if not hasattr(socket, "AF_UNIX"):
+        pytest.skip("platform has no AF_UNIX sockets")
+    config = ExperimentConfig(
+        scale=0.02,
+        benchmarks=("lusearch",),
+        thresholds=(0.10,),
+        quantum_ns=4.0e5,
+    )
+    return serve_replay.run(ExperimentRunner(config))
+
+
+def test_parity_holds_on_both_topologies(result):
+    assert len(result.rows) == 1
+    benchmark, threshold, decisions, wire, single, pool, worker = result.rows[0]
+    assert benchmark == "lusearch"
+    assert threshold == "10%"
+    assert int(decisions) > 0
+    assert int(wire) > 0
+    assert single == "byte-identical"
+    assert pool == "byte-identical"
+
+
+def test_pool_sessions_report_their_worker(result):
+    worker = result.rows[0][-1]
+    assert worker in {f"w{i}" for i in range(serve_replay.POOL_WORKERS)}
+    # The per-worker distribution note accounts for the pooled session.
+    assert "pool sessions opened by worker" in result.notes
+    assert "w0=" in result.notes and "w1=" in result.notes
+
+
+def test_work_declares_no_prefetchable_truths():
+    assert serve_replay.work(object()) == []

@@ -1,0 +1,59 @@
+"""The shared-directory metrics exchange between pool workers."""
+
+import json
+
+from repro.serve.fleet import FleetDirectory
+
+
+def _snapshot(requests=1):
+    return {"uptime_s": 2.0, "endpoints": {"health": {"requests": requests}}}
+
+
+class TestFleetDirectory:
+    def test_publish_read_round_trip(self, tmp_path):
+        fleet = FleetDirectory(tmp_path)
+        fleet.publish(0, _snapshot())
+        document = fleet.read(0)
+        assert document["worker_id"] == 0
+        assert document["uptime_s"] == 2.0
+        assert document["published_at"] > 0
+        # The input snapshot is not mutated by publishing.
+        assert "worker_id" not in _snapshot()
+
+    def test_republish_overwrites(self, tmp_path):
+        fleet = FleetDirectory(tmp_path)
+        fleet.publish(0, _snapshot(requests=1))
+        fleet.publish(0, _snapshot(requests=5))
+        assert fleet.read(0)["endpoints"]["health"]["requests"] == 5
+
+    def test_read_all_collects_every_worker(self, tmp_path):
+        # Separate handles, as separate worker processes would hold.
+        FleetDirectory(tmp_path).publish(0, _snapshot())
+        FleetDirectory(tmp_path).publish(1, _snapshot())
+        snapshots = FleetDirectory(tmp_path).read_all()
+        assert sorted(snapshots) == [0, 1]
+        assert snapshots[1]["worker_id"] == 1
+
+    def test_missing_worker_reads_none(self, tmp_path):
+        fleet = FleetDirectory(tmp_path)
+        assert fleet.read(3) is None
+        assert fleet.read_all() == {}
+
+    def test_corrupt_file_is_skipped(self, tmp_path):
+        fleet = FleetDirectory(tmp_path)
+        fleet.publish(0, _snapshot())
+        (tmp_path / "metrics-w1.json").write_text("{half a docu")
+        assert fleet.read(1) is None
+        assert sorted(fleet.read_all()) == [0]
+
+    def test_worker_id_mismatch_is_rejected(self, tmp_path):
+        """A file renamed or copied across slots must not impersonate."""
+        fleet = FleetDirectory(tmp_path)
+        fleet.publish(0, _snapshot())
+        payload = (tmp_path / "metrics-w0.json").read_text()
+        (tmp_path / "metrics-w1.json").write_text(payload)
+        assert fleet.read(1) is None
+
+    def test_non_object_document_is_rejected(self, tmp_path):
+        (tmp_path / "metrics-w0.json").write_text(json.dumps([1, 2]))
+        assert FleetDirectory(tmp_path).read(0) is None

@@ -2,12 +2,16 @@
 
 import json
 
+import pytest
+
 from repro.serve.metrics import (
     EndpointMetrics,
     Histogram,
     MetricsRegistry,
     batch_histogram,
     latency_histogram,
+    merge_snapshots,
+    worker_summary,
 )
 
 
@@ -97,3 +101,102 @@ class TestMetricsRegistry:
         third = json.loads(registry.log_line().split("stats ", 1)[1])
         assert third["requests"] == 1
         assert third["errors"] == 1
+
+
+# ----------------------------------------------------------------------
+# Fleet aggregation
+# ----------------------------------------------------------------------
+
+
+class TestHistogramMerge:
+    def test_merge_recomputes_quantiles_over_the_union(self):
+        a = Histogram([1.0, 2.0, 4.0])
+        b = Histogram([1.0, 2.0, 4.0])
+        for _ in range(99):
+            a.observe(0.5)
+        b.observe(3.0)
+        b.observe(100.0)
+        a.merge(b.snapshot())
+        assert a.total == 101
+        assert a.max == 100.0
+        assert a.quantile(0.50) == 1.0
+        assert a.quantile(1.00) == 100.0
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram([1.0, 2.0])
+        b = Histogram([1.0, 8.0])
+        with pytest.raises(ValueError, match="bounds"):
+            a.merge(b.snapshot())
+
+    def test_from_snapshot_round_trips(self):
+        h = Histogram([1.0, 2.0])
+        h.observe(1.5)
+        clone = Histogram.from_snapshot(h.snapshot())
+        assert clone.snapshot() == h.snapshot()
+
+
+def _worker_snapshot(requests, errors=0, hits=0, active=1):
+    registry = MetricsRegistry(max_batch=4)
+    for i in range(requests):
+        code = "bad-request" if i < errors else None
+        registry.endpoint("predict").observe(0.001 * (i + 1), error_code=code)
+    registry.connections_opened = active
+    registry.connections_active = active
+    registry.predict_cache_hits = hits
+    snapshot = registry.snapshot()
+    snapshot["predict_cache"] = {"hits": hits, "misses": requests - hits,
+                                 "stores": requests - hits}
+    return snapshot
+
+
+class TestMergeSnapshots:
+    def test_counters_sum_and_histograms_merge(self):
+        merged = merge_snapshots([
+            _worker_snapshot(3, errors=1, hits=2),
+            _worker_snapshot(5, hits=4),
+        ])
+        assert merged["workers_reporting"] == 2
+        assert merged["connections"] == {"opened": 2, "active": 2}
+        predict = merged["endpoints"]["predict"]
+        assert predict["requests"] == 8
+        assert predict["errors"] == {"bad-request": 1}
+        assert predict["latency_s"]["count"] == 8
+        assert merged["predict_cache"] == {
+            "hits": 6, "misses": 2, "stores": 2,
+        }
+        json.dumps(merged)  # fleet stats reply must serialize
+
+    def test_merged_shape_matches_a_single_worker_snapshot(self):
+        """Dashboards read a fleet snapshot and a worker's the same way."""
+        single = _worker_snapshot(2)
+        merged = merge_snapshots([single])
+        for field in ("uptime_s", "connections", "sessions", "endpoints",
+                      "batch_size", "overloaded", "frames_rejected"):
+            assert field in merged, field
+        assert merged["endpoints"]["predict"]["requests"] == 2
+
+    def test_merging_nothing_is_empty_but_well_formed(self):
+        merged = merge_snapshots([])
+        assert merged["workers_reporting"] == 0
+        assert merged["endpoints"] == {}
+
+
+class TestWorkerSummary:
+    def test_compact_row_fields(self):
+        snapshot = _worker_snapshot(4, errors=1, hits=3, active=2)
+        snapshot["published_at"] = 123.0
+        row = worker_summary(snapshot)
+        assert row == {
+            "requests": 4,
+            "predict_requests": 4,
+            "overloaded": 0,
+            "connections_active": 2,
+            "sessions_active": 0,
+            "cache_hits": 3,
+            "published_at": 123.0,
+        }
+
+    def test_tolerates_sparse_snapshots(self):
+        row = worker_summary({})
+        assert row["requests"] == 0
+        assert row["published_at"] is None

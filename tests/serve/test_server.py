@@ -377,3 +377,92 @@ def test_socket_file_cleanup(tmp_path):
     path = str(tmp_path / "gone.sock")
     with BackgroundServer(ServeConfig(socket_path=path)):
         assert os.path.exists(path)
+
+
+# ----------------------------------------------------------------------
+# Prediction cache: hits must be byte-identical to cold computes
+# ----------------------------------------------------------------------
+
+
+def _predict_frame(wire_epochs, request_id, id_last=True):
+    """One predict frame's wire bytes, controlling the id's position.
+
+    A trailing id is the layout :class:`ServeClient` sends and the only
+    one the raw-line memo can key; an id-first frame forces the semantic
+    (parsed-key) cache path instead.
+    """
+    frame = {
+        "v": protocol.PROTOCOL_VERSION,
+        "kind": "predict",
+        "base_freq_ghz": 1.0,
+        "target_freqs_ghz": [2.0, 3.5],
+        "epochs": wire_epochs,
+    }
+    if id_last:
+        frame["id"] = request_id
+    else:
+        frame = {"id": request_id, **frame}
+    return json.dumps(frame, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def _raw_replies(socket_path, frames):
+    with ServeClient.connect(socket_path=socket_path) as client:
+        replies = []
+        for frame in frames:
+            client.send_raw(frame)
+            replies.append(client._file.readline())
+        return replies
+
+
+@requires_af_unix
+def test_cache_hit_replies_are_byte_identical(tmp_path, epochs):
+    """Cold compute, semantic hit and raw-memo hit write the same bytes.
+
+    The server splices cached result fragments (and, on the raw path,
+    the request's own id digits) into a hand-built reply envelope; this
+    pins that envelope against the ordinary ``encode_frame`` encoding an
+    uncached server produces.
+    """
+    wire_epochs = [protocol.epoch_to_wire(e) for e in epochs]
+    frames = [
+        _predict_frame(wire_epochs, 1),  # cold compute (seeds both caches)
+        _predict_frame(wire_epochs, 2),  # raw-memo hit (trailing id)
+        _predict_frame(wire_epochs, 3, id_last=False),  # semantic hit
+    ]
+    cached = ServeConfig(
+        socket_path=str(tmp_path / "cached.sock"),
+        max_delay_s=0.001,
+        predict_cache_mem=256,
+    )
+    with BackgroundServer(cached) as server:
+        replies = _raw_replies(cached.socket_path, frames)
+        with ServeClient.connect(socket_path=cached.socket_path) as client:
+            cache_stats = client.stats()["predict_cache"]
+    plain = ServeConfig(
+        socket_path=str(tmp_path / "plain.sock"), max_delay_s=0.001
+    )
+    with BackgroundServer(plain):
+        expected = _raw_replies(plain.socket_path, frames)
+    assert replies == expected
+    # And the hits really took the cached paths.
+    assert cache_stats["hits"] == 2
+    assert cache_stats["raw_memo"]["hits"] == 1
+
+
+@requires_af_unix
+def test_stats_reports_cache_tiers_and_raw_memo(tmp_path, epochs):
+    config = ServeConfig(
+        socket_path=str(tmp_path / "stats.sock"),
+        max_delay_s=0.001,
+        predict_cache_mem=256,
+        predict_cache_dir=str(tmp_path / "shared"),
+    )
+    with BackgroundServer(config):
+        with ServeClient.connect(socket_path=config.socket_path) as client:
+            for _ in range(2):
+                client.predict(epochs, 1.0, target_freqs_ghz=[2.0])
+            cache = client.stats()["predict_cache"]
+    assert cache["misses"] == 1
+    assert cache["stores"] == 1
+    assert len(cache["tiers"]) == 2  # memory LRU + shared file tier
+    assert cache["raw_memo"]["entries"] == 1

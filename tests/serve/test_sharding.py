@@ -1,0 +1,92 @@
+"""Deterministic sharding: every router must compute the same placement."""
+
+import hashlib
+
+import pytest
+
+from repro.serve.sharding import (
+    AFFINITY_SEP,
+    parse_endpoint,
+    shard_for_key,
+    tag_session_id,
+    worker_for_session,
+    worker_socket_path,
+    worker_socket_paths,
+)
+
+
+# ----------------------------------------------------------------------
+# shard_for_key
+# ----------------------------------------------------------------------
+
+
+class TestShardForKey:
+    def test_is_deterministic_and_in_range(self):
+        for n in (1, 2, 3, 8):
+            for key in ("", "lusearch", "tenant-42", "キー"):
+                shard = shard_for_key(key, n)
+                assert shard == shard_for_key(key, n)
+                assert 0 <= shard < n
+
+    def test_matches_the_documented_sha256_construction(self):
+        """Clients in other languages must be able to reimplement this."""
+        digest = hashlib.sha256(b"session-key").digest()
+        expected = int.from_bytes(digest[:8], "big") % 5
+        assert shard_for_key("session-key", 5) == expected
+
+    def test_spreads_keys_across_workers(self):
+        shards = {shard_for_key(f"run-{i}", 4) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            shard_for_key("k", 0)
+
+
+# ----------------------------------------------------------------------
+# Session affinity tags
+# ----------------------------------------------------------------------
+
+
+class TestSessionAffinity:
+    def test_tag_round_trips(self):
+        for worker_id in range(4):
+            tagged = tag_session_id("g7", worker_id)
+            assert tagged == f"g7{AFFINITY_SEP}{worker_id}"
+            assert worker_for_session(tagged, 4) == worker_id
+
+    def test_untagged_id_falls_back_to_key_hash(self):
+        assert worker_for_session("g7", 4) == shard_for_key("g7", 4)
+
+    def test_out_of_range_tag_falls_back(self):
+        """An id minted by a larger pool routes deterministically anyway."""
+        stale = tag_session_id("g7", 7)
+        assert worker_for_session(stale, 2) == shard_for_key(stale, 2)
+
+    def test_non_numeric_suffix_falls_back(self):
+        odd = f"g7{AFFINITY_SEP}abc"
+        assert worker_for_session(odd, 4) == shard_for_key(odd, 4)
+
+
+# ----------------------------------------------------------------------
+# Endpoint naming
+# ----------------------------------------------------------------------
+
+
+class TestEndpoints:
+    def test_worker_socket_paths_derive_from_the_public_path(self):
+        assert worker_socket_path("/run/serve.sock", 2) == "/run/serve.sock.w2"
+        assert worker_socket_paths("/run/serve.sock", 2) == [
+            "/run/serve.sock.w0",
+            "/run/serve.sock.w1",
+        ]
+
+    def test_parse_endpoint_round_trips(self):
+        assert parse_endpoint("unix:/run/s.sock") == ("unix", "/run/s.sock", None)
+        assert parse_endpoint("tcp:127.0.0.1:8231") == ("tcp", "127.0.0.1", 8231)
+        # IPv6 hosts contain colons; the port is the last field.
+        assert parse_endpoint("tcp:::1:8231") == ("tcp", "::1", 8231)
+
+    def test_parse_endpoint_rejects_unknown_schemes(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_endpoint("http://localhost:8231")
