@@ -32,6 +32,7 @@ from repro.experiments import (
     fig4,
     fig6,
     fig7,
+    fleet_study,
     sensitivity,
     sequential,
     serve_replay,
@@ -55,12 +56,13 @@ _EXPERIMENTS = {
     "fig6": fig6,
     "fig7": fig7,
     "serve": serve_replay,
+    "fleet": fleet_study,
 }
 
 #: Order that maximizes ground-truth cache reuse.
 _DEFAULT_ORDER = (
     "table2", "table1", "sequential", "fig1", "fig3", "sensitivity",
-    "fig4", "fig6", "fig7", "serve",
+    "fig4", "fig6", "fig7", "serve", "fleet",
 )
 
 

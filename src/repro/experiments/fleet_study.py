@@ -1,0 +1,93 @@
+"""Fleet policy study: prediction-driven policies vs. the static oracle.
+
+The paper evaluates its predictor inside one JVM at a time; this driver
+asks what the same prediction machinery buys a *fleet*: hundreds of
+energy-managed tenants arriving on an open-loop process, stepped
+through :mod:`repro.fleet` under every registered policy over one drawn
+population (profiles built once, batched, and shared). Reported per
+policy: aggregate energy against the all-max-frequency baseline, mean
+and tail slowdown, SLA misses, and peak fleet power — plus the
+per-tenant static-oracle bound (:mod:`repro.energy.static_oracle`
+applied to each tenant's profile), the best any frequency-per-tenant
+assignment could do with hindsight.
+
+The run is deterministic from the study seed: the same table
+regenerates byte-identical on every invocation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, pct_abs
+from repro.experiments.runner import ExperimentRunner
+from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.policy import policy_names
+from repro.fleet.profiles import ProfileStore
+
+#: Fleet drawn for the study (big enough that every builtin family and
+#: both quanta appear; small enough for the experiment suite's budget).
+FLEET_TENANTS = 256
+#: Study seed: tenant draw + arrival process.
+FLEET_SEED = 42
+#: Fleet power cap (W) the capped policies respect.
+POWER_CAP_W = 400.0
+
+
+def work(config):
+    """Fleet profiles are tenant-shaped, not benchmark-shaped: nothing
+    in the shared ground-truth cache applies, so there is no prefetch."""
+    return []
+
+
+def run(runner: ExperimentRunner) -> ExperimentResult:
+    """Compare every fleet policy over one drawn tenant population."""
+    result = ExperimentResult(
+        experiment_id="Fleet study",
+        title=(
+            f"Fleet policies, {FLEET_TENANTS} tenants, seed {FLEET_SEED}, "
+            f"cap {POWER_CAP_W:.0f} W"
+        ),
+        headers=["policy", "energy (J)", "vs all-max", "mean slowdown",
+                 "p99 slowdown", "SLA miss", "peak W"],
+        notes="static-oracle row is the per-tenant hindsight bound, not "
+        "a schedulable policy; capped policies respect the fleet power "
+        "cap, uncapped ones ignore it",
+    )
+    store = ProfileStore()
+    oracle = None
+    for policy in policy_names():
+        report = run_fleet(
+            FleetConfig(
+                tenants=FLEET_TENANTS,
+                seed=FLEET_SEED,
+                policy=policy,
+                power_cap_w=POWER_CAP_W,
+            ),
+            store=store,
+        )
+        aggregate = report.aggregate
+        oracle = report.oracle
+        capped = "" if aggregate["cap_violations"] == 0 else " (CAP!)"
+        result.rows.append(
+            (
+                policy,
+                f"{aggregate['energy_j']:.3f}",
+                pct_abs(aggregate["energy_saving_vs_max"]) + " saved",
+                pct_abs(aggregate["mean_slowdown"]),
+                pct_abs(aggregate["p99_slowdown"]),
+                pct_abs(aggregate["sla_miss_rate"]),
+                f"{aggregate['peak_power_w']:.0f}{capped}",
+            )
+        )
+    if oracle is not None:
+        result.rows.append(
+            (
+                "static-oracle/tenant",
+                f"{oracle['energy_j']:.3f}",
+                "",
+                pct_abs(oracle["mean_slowdown"]),
+                "",
+                pct_abs(oracle["sla_miss_rate"]),
+                "",
+            )
+        )
+    return result

@@ -1,0 +1,63 @@
+"""Datacenter-scale governor fleet simulation (``repro.fleet``).
+
+The paper's energy manager governs one managed application; the fleet
+layer asks what happens when *hundreds to thousands* of energy-managed
+tenants share a power envelope. A seeded open-loop arrival process
+(Poisson with bursty and diurnal phases, :mod:`repro.fleet.arrivals`)
+spawns tenants drawn from a corpus of workload families
+(:mod:`repro.fleet.corpus` — synthetic families plus fuzz-found
+``repro.qa`` cases promoted through the ``FuzzCase -> tenant spec``
+adapter in :mod:`repro.fleet.tenants`). Each distinct tenant shape is
+profiled once through the simulator — batched via
+:mod:`repro.sim.batch` so families share one prewarmed timing store —
+and the profile's per-interval sweep-kernel matrices
+(:mod:`repro.fleet.profiles`) answer every policy's duration/energy
+questions without re-simulating per tenant.
+
+On top sits a pluggable policy layer (:mod:`repro.fleet.policy`): the
+all-max static baseline, the per-tenant paper governor, the per-tenant
+static oracle, and two prediction-driven fleet policies — admission
+under a fleet power cap and a tail-aware frequency allocator. The
+event-driven engine (:mod:`repro.fleet.engine`) is fully deterministic
+from one seed; same-seed runs emit byte-identical reports
+(:mod:`repro.fleet.report`), and :mod:`repro.fleet.serve_mode` can
+drive every governor decision stream through a real multi-worker
+``repro.serve`` pool to validate the wire path at fleet scale.
+"""
+
+from repro.fleet.arrivals import ArrivalConfig, generate_arrivals
+from repro.fleet.corpus import builtin_templates, draw_tenants, load_corpus_dir
+from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.policy import get_policy, policy_names, prediction_driven_names
+from repro.fleet.profiles import ProfileStore, TenantProfile
+from repro.fleet.report import FleetReport, render_report, report_identity_bytes
+from repro.fleet.tenants import (
+    TENANT_FORMAT_VERSION,
+    TenantSpec,
+    tenant_from_fuzz_case,
+    tenant_spec_from_dict,
+    tenant_spec_to_dict,
+)
+
+__all__ = [
+    "ArrivalConfig",
+    "FleetConfig",
+    "FleetReport",
+    "ProfileStore",
+    "TENANT_FORMAT_VERSION",
+    "TenantProfile",
+    "TenantSpec",
+    "builtin_templates",
+    "draw_tenants",
+    "generate_arrivals",
+    "get_policy",
+    "load_corpus_dir",
+    "policy_names",
+    "prediction_driven_names",
+    "render_report",
+    "report_identity_bytes",
+    "run_fleet",
+    "tenant_from_fuzz_case",
+    "tenant_spec_from_dict",
+    "tenant_spec_to_dict",
+]

@@ -1,0 +1,227 @@
+"""The fleet's workload corpus: built-in families plus promoted QA cases.
+
+A :class:`TenantTemplate` describes a *population* of tenants: one
+workload shape (shared by every tenant drawn from the template, so
+their profiles share a program and — through :mod:`repro.sim.batch` —
+one prewarmed timing store) plus small option sets for the knobs that
+vary per tenant (profiling base frequency, quantum, governor
+threshold, SLA). :func:`draw_tenants` materializes a fleet from the
+template set deterministically: tenant ``i`` of seed ``s`` is a pure
+function of ``(templates, s, i)``.
+
+Built-in families cover the structural axes the paper's predictors care
+about — compute-bound, memory-streaming, phased, lock-heavy,
+barrier-synchronized and allocation/GC-heavy. Promoted fuzz cases
+(written by ``repro-qa promote``) are loaded from corpus directories as
+single-point templates with their recorded manager and SLA fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import ConfigError
+from repro.common.rng import rng_stream
+from repro.energy.manager import ManagerConfig
+from repro.fleet.tenants import TenantSpec, tenant_spec_from_dict
+from repro.workloads.synthetic import SyntheticWorkloadConfig
+
+#: Governor thresholds a drawn tenant may request (paper's Fig. 6 axis).
+_THRESHOLDS = (0.02, 0.05, 0.1, 0.2)
+#: Hold-off options (quanta between frequency changes).
+_HOLD_OFFS = (1, 2)
+#: End-to-end SLA margin on top of the governor threshold.
+_SLA_MARGINS = (0.05, 0.1)
+
+_PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TenantTemplate:
+    """One population of tenants sharing a workload shape."""
+
+    name: str
+    workload: SyntheticWorkloadConfig
+    #: Profiling base frequencies tenants may draw (spec set points).
+    base_freqs: Tuple[float, ...] = (4.0, 3.0, 2.0)
+    #: Scheduling quanta tenants may draw (ns).
+    quanta: Tuple[float, ...] = (2.0e5, 5.0e5)
+    #: Relative draw weight within the corpus.
+    weight: float = 1.0
+    #: Fixed governor config (None: drawn per tenant).
+    manager: Optional[ManagerConfig] = None
+    #: Fixed SLA slowdown (None: drawn per tenant).
+    sla_slowdown: Optional[float] = None
+    predictor: str = "DEP+BURST"
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.base_freqs:
+            raise ConfigError(f"template {self.name!r} has no base_freqs")
+        if not self.quanta:
+            raise ConfigError(f"template {self.name!r} has no quanta")
+        if self.weight <= 0:
+            raise ConfigError(f"template {self.name!r} weight must be > 0")
+
+
+def builtin_templates() -> List[TenantTemplate]:
+    """The six built-in workload families, in a fixed order."""
+    return [
+        TenantTemplate(
+            name="compute",
+            workload=SyntheticWorkloadConfig(
+                name="fleet-compute", seed=101, n_threads=4, n_units=96,
+                unit_insns=80_000, unit_insns_cv=0.2, cpi=0.45,
+                clusters_per_kinsn=0.05, alloc_bytes_per_unit=16_384,
+                alloc_every=8, cs_probability=0.02, heap_mb=48, nursery_mb=8,
+                tags={"family": "compute"},
+            ),
+            weight=1.5,
+        ),
+        TenantTemplate(
+            name="memstream",
+            workload=SyntheticWorkloadConfig(
+                name="fleet-memstream", seed=102, n_threads=4, n_units=80,
+                unit_insns=60_000, cpi=0.6, clusters_per_kinsn=1.8,
+                chain_depth_mean=2.5, chain_locality=0.2, memory_skew=0.4,
+                alloc_bytes_per_unit=32_768, alloc_every=4, heap_mb=64,
+                nursery_mb=8, tags={"family": "memstream"},
+            ),
+            weight=1.5,
+        ),
+        TenantTemplate(
+            name="phased",
+            workload=SyntheticWorkloadConfig(
+                name="fleet-phased", seed=103, n_threads=4, n_units=96,
+                unit_insns=70_000, cpi=0.55, clusters_per_kinsn=1.0,
+                phase_amplitude=0.5, phase_periods=6.0,
+                alloc_bytes_per_unit=24_576, alloc_every=4, heap_mb=56,
+                nursery_mb=8, tags={"family": "phased"},
+            ),
+        ),
+        TenantTemplate(
+            name="locky",
+            workload=SyntheticWorkloadConfig(
+                name="fleet-locky", seed=104, n_threads=4, n_units=72,
+                unit_insns=60_000, cpi=0.55, clusters_per_kinsn=0.5,
+                cs_probability=0.3, cs_insns=8_000, n_locks=2,
+                serialized_fraction=0.2, alloc_bytes_per_unit=16_384,
+                alloc_every=6, heap_mb=48, nursery_mb=8,
+                tags={"family": "locky"},
+            ),
+        ),
+        TenantTemplate(
+            name="barrier",
+            workload=SyntheticWorkloadConfig(
+                name="fleet-barrier", seed=105, n_threads=4, n_units=72,
+                unit_insns=60_000, unit_insns_cv=0.4, cpi=0.55,
+                clusters_per_kinsn=0.7, barrier_period=4,
+                thread_imbalance=0.3, alloc_bytes_per_unit=16_384,
+                alloc_every=6, heap_mb=48, nursery_mb=8,
+                tags={"family": "barrier"},
+            ),
+        ),
+        TenantTemplate(
+            name="gcheavy",
+            workload=SyntheticWorkloadConfig(
+                name="fleet-gcheavy", seed=106, n_threads=4, n_units=64,
+                unit_insns=50_000, cpi=0.6, clusters_per_kinsn=0.8,
+                alloc_bytes_per_unit=400_000, alloc_every=1, heap_mb=40,
+                nursery_mb=4, survival_rate=0.4,
+                tags={"family": "gcheavy"},
+            ),
+        ),
+    ]
+
+
+def template_from_tenant_spec(
+    spec: TenantSpec, weight: float = 1.0
+) -> TenantTemplate:
+    """A single-point template: every draw yields ``spec``'s shape."""
+    return TenantTemplate(
+        name=spec.name,
+        workload=spec.workload,
+        base_freqs=(spec.base_freq_ghz,),
+        quanta=(spec.quantum_ns,),
+        weight=weight,
+        manager=spec.manager,
+        sla_slowdown=spec.sla_slowdown,
+        predictor=spec.predictor,
+        origin=spec.origin,
+    )
+
+
+def load_corpus_dir(path: _PathLike) -> List[TenantTemplate]:
+    """Load every promoted tenant spec JSON under ``path`` (sorted).
+
+    Sorting by filename keeps the template order — and therefore every
+    downstream draw — independent of directory enumeration order.
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise ConfigError(f"corpus directory {directory} does not exist")
+    templates: List[TenantTemplate] = []
+    for file in sorted(directory.glob("*.json")):
+        try:
+            payload = json.loads(file.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"corpus file {file} is not JSON: {exc}") from exc
+        templates.append(template_from_tenant_spec(tenant_spec_from_dict(payload)))
+    return templates
+
+
+def draw_tenants(
+    templates: Sequence[TenantTemplate], n: int, seed: int
+) -> List[TenantSpec]:
+    """Materialize ``n`` tenants from the corpus, deterministically.
+
+    Each tenant gets its own derived RNG stream keyed by its index, so
+    the draw for tenant ``i`` never depends on how many tenants came
+    before it — fleets of different sizes share a prefix.
+    """
+    if not templates:
+        raise ConfigError("the tenant corpus is empty")
+    total_weight = sum(t.weight for t in templates)
+    specs: List[TenantSpec] = []
+    for index in range(n):
+        rng = rng_stream(seed, "fleet", "tenant", index)
+        pick = float(rng.random()) * total_weight
+        template = templates[-1]
+        acc = 0.0
+        for candidate in templates:
+            acc += candidate.weight
+            if pick < acc:
+                template = candidate
+                break
+        base = template.base_freqs[int(rng.integers(len(template.base_freqs)))]
+        quantum = template.quanta[int(rng.integers(len(template.quanta)))]
+        if template.manager is not None:
+            manager = template.manager
+        else:
+            manager = ManagerConfig(
+                tolerable_slowdown=_THRESHOLDS[
+                    int(rng.integers(len(_THRESHOLDS)))
+                ],
+                hold_off=_HOLD_OFFS[int(rng.integers(len(_HOLD_OFFS)))],
+            )
+        if template.sla_slowdown is not None:
+            sla = template.sla_slowdown
+        else:
+            margin = _SLA_MARGINS[int(rng.integers(len(_SLA_MARGINS)))]
+            sla = round(manager.tolerable_slowdown + margin, 6)
+        specs.append(
+            TenantSpec(
+                name=f"t{index:05d}.{template.name}",
+                workload=template.workload,
+                base_freq_ghz=base,
+                quantum_ns=quantum,
+                manager=manager,
+                predictor=template.predictor,
+                sla_slowdown=sla,
+                origin=template.origin or f"family:{template.name}",
+            )
+        )
+    return specs

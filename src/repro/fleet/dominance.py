@@ -1,0 +1,108 @@
+"""The ``fleet-policy-dominance`` property, checkable per fuzz case.
+
+Prediction-driven fleet policies pick per-tenant set points only from
+the profile's *energy-sane* candidate set, so two things must hold on
+any fleet, under any interleaving the arrival process produces:
+
+* the fleet power cap is respected whenever two or more tenants run
+  (a tenant alone on the fleet may exceed it only as an explicitly
+  counted solo override — and with the cap this check chooses, never);
+* aggregate energy never exceeds the all-max-frequency baseline's, at
+  equal or worse SLA (the all-max baseline never misses, so any
+  policy's SLA is equal-or-worse by construction — energy is the
+  claim with teeth).
+
+:func:`case_dominance_violations` instantiates the property on a QA
+fuzz case: the case is promoted to a tenant spec (the same adapter
+``repro-qa promote`` uses), profiled at both of the case's frequencies
+*reusing the QA context's existing simulations*, and run as a small
+overlapping fleet through every prediction-driven policy against the
+static-max baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.policy import prediction_driven_names
+from repro.fleet.profiles import ProfileStore
+from repro.fleet.tenants import profile_key, tenant_from_fuzz_case
+
+#: Tenants in the invariant's miniature fleet.
+_FLEET_SIZE = 10
+#: Relative slack of the energy-dominance comparison.
+_ENERGY_REL_EPS = 1e-9
+#: Fleet power cap as a multiple of the worst single-tenant power —
+#: two tenants always fit, a third queues: real contention, no solo
+#: overrides.
+_CAP_MULTIPLE = 2.0
+
+
+def case_dominance_violations(context) -> List[str]:
+    """Violations of the dominance property on one fuzz case."""
+    case = context.case
+    base_tenant = tenant_from_fuzz_case(case, name=f"qa-{case.seed}-base")
+    high_tenant = replace(
+        base_tenant,
+        name=f"qa-{case.seed}-high",
+        base_freq_ghz=case.high_freq_ghz,
+    )
+    variants = [base_tenant, high_tenant]
+    traces = {
+        profile_key(base_tenant): context.result(case.base_freq_ghz).trace,
+        profile_key(high_tenant): context.result(case.high_freq_ghz).trace,
+    }
+    store = ProfileStore(context.spec)
+    store.build(variants, traces=traces)
+
+    tenants = [variants[i % 2] for i in range(_FLEET_SIZE)]
+    profiles = [store.profile_for(tenant) for tenant in tenants]
+    # Arrivals at quarter-baseline spacing: heavy overlap, so the cap
+    # actually binds and the queue is exercised.
+    spacing = min(profile.baseline_ns for profile in profiles) / 4.0
+    arrivals_ns = [i * spacing for i in range(_FLEET_SIZE)]
+    peak_tenant_w = max(
+        profile.baseline_energy_j / (profile.baseline_ns * 1e-9)
+        for profile in profiles
+    )
+    cap_w = _CAP_MULTIPLE * peak_tenant_w
+
+    def fleet(policy: str) -> Dict[str, float]:
+        report = run_fleet(
+            FleetConfig(
+                tenants=_FLEET_SIZE,
+                seed=case.seed,
+                policy=policy,
+                power_cap_w=cap_w,
+            ),
+            spec=context.spec,
+            store=store,
+            tenants=tenants,
+            arrivals_ns=arrivals_ns,
+        )
+        return report.aggregate
+
+    baseline_energy = fleet("static-max")["energy_j"]
+    violations: List[str] = []
+    for policy in prediction_driven_names():
+        aggregate = fleet(policy)
+        if aggregate["cap_violations"]:
+            violations.append(
+                f"{policy}: exceeded the {cap_w:.1f} W fleet power cap "
+                f"{aggregate['cap_violations']} time(s) with >= 2 tenants "
+                f"running (peak {aggregate['peak_power_w']:.1f} W)"
+            )
+        if aggregate["solo_cap_overrides"]:
+            violations.append(
+                f"{policy}: {aggregate['solo_cap_overrides']} solo cap "
+                f"override(s) although every tenant fits under the cap"
+            )
+        ceiling = baseline_energy * (1.0 + _ENERGY_REL_EPS)
+        if aggregate["energy_j"] > ceiling:
+            violations.append(
+                f"{policy}: aggregate energy {aggregate['energy_j']:.6f} J "
+                f"exceeds the all-max baseline {baseline_energy:.6f} J"
+            )
+    return violations

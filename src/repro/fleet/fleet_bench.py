@@ -1,0 +1,90 @@
+"""Fleet stepping benchmark: batched vs. unbatched profile builds.
+
+The fleet's hot path is *profile stepping* — running the simulations
+behind every tenant the drawn population needs. Batched mode first
+deduplicates tenants into their distinct (workload, base frequency,
+quantum) shapes, then routes those through :mod:`repro.sim.batch`, so
+a family's profiles share one program object and one
+:class:`~repro.sim.batch.SharedTimingStore` prewarmed across the
+family's base frequencies in a single ``time_batch_multi`` columnar
+pass. Unbatched mode is the naive fleet: every tenant simulated
+independently, fresh program, no sharing — what stepping the
+population costs without the batch tier.
+
+:func:`fleet_bench` times both builds over the same drawn fleet
+(``--reps`` times, reporting min/median/mean through
+:func:`repro.sim.bench.wall_stats`), then runs the full engine once on
+each store and asserts the two reports are byte-identical on the
+determinism view — the speedup must be pure mechanics. The gated
+metric is ``speedup`` (median unbatched / median batched build).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro.common.errors import ReproError
+from repro.fleet.corpus import builtin_templates, draw_tenants
+from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.profiles import ProfileStore
+from repro.fleet.report import report_identity_bytes
+from repro.sim.bench import wall_stats
+
+#: Policy the identity runs use (exercises the governor stepping path).
+_BENCH_POLICY = "paper-governor"
+
+
+def fleet_bench(
+    tenants: int = 192, seed: int = 7, reps: int = 3
+) -> Dict[str, object]:
+    """Time batched vs. unbatched fleet stepping; verify identity."""
+    if reps < 1:
+        raise ReproError("reps must be >= 1")
+    specs = draw_tenants(builtin_templates(), tenants, seed)
+    batched_walls: List[float] = []
+    unbatched_walls: List[float] = []
+    batched_store = None
+    unbatched_store = None
+    diagnostics: Dict[str, int] = {}
+    for _ in range(reps):
+        batched_store = ProfileStore()
+        begin = time.perf_counter()
+        diagnostics = batched_store.build(specs, batch=True)
+        batched_walls.append(time.perf_counter() - begin)
+
+        unbatched_store = ProfileStore()
+        begin = time.perf_counter()
+        unbatched_store.build(specs, batch=False)
+        unbatched_walls.append(time.perf_counter() - begin)
+
+    config = FleetConfig(tenants=tenants, seed=seed, policy=_BENCH_POLICY)
+    begin = time.perf_counter()
+    batched_report = run_fleet(config, store=batched_store)
+    engine_wall = time.perf_counter() - begin
+    unbatched_report = run_fleet(config, store=unbatched_store)
+    if report_identity_bytes(batched_report) != report_identity_bytes(
+        unbatched_report
+    ):
+        raise ReproError(
+            "batched and unbatched fleet runs diverged: the reports are "
+            "not byte-identical on the determinism view"
+        )
+
+    batched = wall_stats(batched_walls)
+    unbatched = wall_stats(unbatched_walls)
+    return {
+        "tenants": tenants,
+        "seed": seed,
+        "reps": reps,
+        "profiles": diagnostics.get("profiles_total", 0),
+        "groups": diagnostics.get("groups", 0),
+        "prewarmed_freqs": diagnostics.get("prewarmed_freqs", 0),
+        "batched_build_s": batched,
+        "unbatched_build_s": unbatched,
+        "speedup": unbatched["median"] / batched["median"],
+        "engine_wall_s": engine_wall,
+        "tenants_per_s": tenants / (batched["median"] + engine_wall),
+        "identical": True,
+        "policy": _BENCH_POLICY,
+    }

@@ -6,12 +6,16 @@ Subcommands::
     repro-qa run --seeds 200 --time-budget 120 # CI smoke: stop at the box
     repro-qa run --invariants diff-engine-trace,self-prediction-identity
     repro-qa replay qa-artifacts/qa-seed-17.json
+    repro-qa promote qa-artifacts/qa-seed-17.json --out-dir fleet-corpus
     repro-qa list-invariants
 
 ``run`` exits non-zero on the first invariant failure, after shrinking
 the workload and writing a replayable artifact (seed + JSON program).
 ``replay`` re-evaluates an artifact's shrunk case and reports whether
-the recorded failure still reproduces.
+the recorded failure still reproduces. ``promote`` converts an
+artifact's case into a ``repro.fleet`` tenant spec, so fleets drawn
+with ``repro-fleet --corpus DIR`` include the shapes fuzzing found
+interesting.
 """
 
 from __future__ import annotations
@@ -92,6 +96,16 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_promote(args: argparse.Namespace) -> int:
+    from repro.qa.promote import promote_artifact
+
+    path = promote_artifact(args.artifact, out_dir=args.out_dir,
+                            name=args.name)
+    print(f"tenant spec written to {path}")
+    print(f"draw fleets with: repro-fleet run --corpus {args.out_dir}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     rows = [
         (name, get_invariant(name).description) for name in invariant_names()
@@ -138,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--no-serve", action="store_true",
                         help="skip the serve differentials")
     replay.set_defaults(func=_cmd_replay)
+
+    promote = sub.add_parser(
+        "promote", help="turn a failure artifact into a fleet tenant spec"
+    )
+    promote.add_argument("artifact", help="path written by a failing run")
+    promote.add_argument("--out-dir", default="fleet-corpus",
+                         help="corpus directory to write into "
+                              "(default fleet-corpus)")
+    promote.add_argument("--name", default=None,
+                         help="tenant name (default: derived from the seed)")
+    promote.set_defaults(func=_cmd_promote)
 
     listing = sub.add_parser("list-invariants",
                              help="print the invariant registry")

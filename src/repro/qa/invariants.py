@@ -318,3 +318,22 @@ def _governor_threshold(context: CaseContext) -> List[str]:
                 f"not monotone vs. the maximum frequency"
             )
     return violations
+
+
+# ----------------------------------------------------------------------
+# Fleet invariants
+# ----------------------------------------------------------------------
+
+
+@register(
+    "fleet-policy-dominance",
+    "every prediction-driven fleet policy respects the fleet power cap "
+    "and never spends more aggregate energy than the all-max-frequency "
+    "baseline at equal-or-worse SLA",
+)
+def _fleet_policy_dominance(context: CaseContext) -> List[str]:
+    # The fleet tier imports the sweep/batch stack; keep it out of this
+    # module's import time the same way the differentials stay out.
+    from repro.fleet.dominance import case_dominance_violations
+
+    return case_dominance_violations(context)

@@ -1,0 +1,58 @@
+"""Promote a QA failure artifact into a fleet tenant spec.
+
+A shrunk fuzz case that broke an invariant is, by construction, a
+workload shape the pipeline found interesting — exactly the kind of
+tenant a fleet population should include so regressions surface at
+scale, not just in the single-case gate. ``repro-qa promote`` turns an
+artifact into a ``repro-fleet-tenant`` JSON spec (the
+:func:`repro.fleet.tenants.tenant_from_fuzz_case` adapter) that
+``repro-fleet --corpus DIR`` merges into the tenant corpus.
+
+The promoted tenant keeps the case's manager config and base frequency
+and gets an SLA slightly above the manager's tolerable slowdown — the
+governor is *supposed* to land under it, so a promoted tenant missing
+its SLA in a fleet run is a finding.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.fleet.tenants import (
+    TenantSpec,
+    tenant_from_fuzz_case,
+    tenant_spec_to_dict,
+)
+from repro.qa.artifacts import load_artifact
+
+
+def promote_artifact(
+    artifact_path: str,
+    out_dir: str = "fleet-corpus",
+    name: Optional[str] = None,
+) -> Path:
+    """Write ``artifact_path``'s case as a tenant spec; return the path."""
+    artifact = load_artifact(artifact_path)
+    tenant = tenant_from_fuzz_case(artifact.case, name=name)
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    out_path = directory / f"{tenant.name}.json"
+    out_path.write_text(
+        json.dumps(tenant_spec_to_dict(tenant), indent=2, sort_keys=True)
+        + "\n"
+    )
+    return out_path
+
+
+def promoted_tenant(path: str) -> TenantSpec:
+    """Load one promoted spec back (convenience for tests/tools)."""
+    from repro.fleet.tenants import tenant_spec_from_dict
+
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"unreadable tenant spec {path}: {exc}")
+    return tenant_spec_from_dict(payload)

@@ -1,0 +1,67 @@
+"""Figure 7: dynamic manager vs static-optimal, on a miniature config."""
+
+import pytest
+
+from repro.experiments import fig7
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    scale=0.04,
+    benchmarks=("xalan", "lusearch_fix"),
+    static_freqs_ghz=(1.0, 2.0, 3.0, 4.0),
+    quantum_ns=4.0e5,
+    thresholds=(0.10,),
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CONFIG)
+
+
+def test_work_covers_the_fixed_and_managed_grid():
+    items = fig7.work(CONFIG)
+    # One fixed run per (benchmark, freq) plus one managed run per
+    # (benchmark, threshold); 4 GHz is already in the static grid.
+    expected = len(CONFIG.benchmarks) * len(CONFIG.static_freqs_ghz)
+    expected += len(CONFIG.benchmarks) * len(CONFIG.thresholds)
+    assert len(items) == expected
+
+
+def test_one_table_per_threshold(runner):
+    results = fig7.run(runner)
+    assert len(results) == len(CONFIG.thresholds)
+    assert "10%" in results[0].experiment_id
+
+
+def test_rows_cover_benchmarks_and_memory_mean(runner):
+    result = fig7.run(runner)[0]
+    labels = [row[0] for row in result.rows]
+    for benchmark in CONFIG.benchmarks:
+        assert benchmark in labels
+    # lusearch_fix is memory-intensive, so the rollup row must appear.
+    assert labels[-1] == "MEAN delta (memory)"
+    assert len(result.headers) == len(result.rows[0])
+
+
+def test_static_choices_come_from_the_sweep_grid(runner):
+    result = fig7.run(runner)[0]
+    grid = {f"{f:.2f}" for f in CONFIG.static_freqs_ghz}
+    for row in result.rows:
+        if row[0] == "MEAN delta (memory)":
+            continue
+        assert row[4] in grid  # oracle static frequency
+        assert row[5] in grid  # predicted static frequency
+        for cell in (row[2], row[3], row[6]):
+            assert cell.endswith("%")
+
+
+def test_savings_are_within_physical_bounds(runner):
+    result = fig7.run(runner)[0]
+    for row in result.rows:
+        if row[0] == "MEAN delta (memory)":
+            continue
+        for cell in (row[2], row[3]):
+            saving = float(cell.rstrip("%"))
+            assert -5.0 <= saving < 100.0

@@ -1,0 +1,29 @@
+"""The fleet policy study driver on a miniature fleet."""
+
+import pytest
+
+from repro.experiments import fleet_study
+from repro.experiments.cli import _DEFAULT_ORDER, _EXPERIMENTS
+from repro.experiments.runner import ExperimentRunner
+from repro.fleet.policy import policy_names
+
+
+def test_registered_with_the_experiment_cli():
+    assert _EXPERIMENTS["fleet"] is fleet_study
+    assert "fleet" in _DEFAULT_ORDER
+
+
+def test_no_prefetchable_work():
+    assert fleet_study.work(object()) == []
+
+
+def test_study_compares_every_policy(monkeypatch):
+    monkeypatch.setattr(fleet_study, "FLEET_TENANTS", 6)
+    result = fleet_study.run(ExperimentRunner())
+    names = [row[0] for row in result.rows]
+    assert names[:-1] == policy_names()
+    assert names[-1] == "static-oracle/tenant"
+    assert len(result.headers) == len(result.rows[0])
+    # Deterministic: a second run renders the identical table.
+    again = fleet_study.run(ExperimentRunner())
+    assert again.rows == result.rows

@@ -1,0 +1,53 @@
+"""The sensitivity surface: all models at every target, both directions."""
+
+import pytest
+
+from repro.core.predictors import predictor_names
+from repro.experiments import fig3, sensitivity
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    scale=0.04,
+    benchmarks=("xalan", "lusearch_fix"),
+    static_freqs_ghz=(1.0, 2.0, 3.0, 4.0),
+    quantum_ns=4.0e5,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CONFIG)
+
+
+def test_work_matches_fig3():
+    assert sensitivity.work(CONFIG) == fig3.work(CONFIG)
+
+
+def test_headers_cover_every_model(runner):
+    result = sensitivity.run(runner)
+    assert result.headers == ["base -> target"] + predictor_names()
+
+
+def test_rows_cover_both_directions_in_order(runner):
+    result = sensitivity.run(runner)
+    labels = [row[0] for row in result.rows]
+    expected = [f"1 GHz -> {t:g} GHz" for t in CONFIG.targets_up_ghz]
+    expected += [f"4 GHz -> {t:g} GHz" for t in CONFIG.targets_down_ghz]
+    assert labels == expected
+
+
+def test_cells_are_percent_magnitudes(runner):
+    result = sensitivity.run(runner)
+    for row in result.rows:
+        for cell in row[1:]:
+            assert cell.endswith("%")
+            assert float(cell.rstrip("%")) >= 0.0
+
+
+def test_reuses_fig3_grid_and_stays_stable(runner):
+    # fig3.collect caches on the runner, so a second render is free and
+    # must be identical.
+    first = sensitivity.run(runner)
+    second = sensitivity.run(runner)
+    assert first.rows == second.rows

@@ -1,0 +1,71 @@
+"""Shared fleet-test fixtures: a miniature tenant population.
+
+The builtin corpus families are sized for fleet runs; tests use these
+deliberately tiny workloads (tens of intervals, no allocation) so a
+profile build costs milliseconds, and share one pre-built
+:class:`~repro.fleet.profiles.ProfileStore` across the whole session.
+"""
+
+import pytest
+
+from repro.energy.manager import ManagerConfig
+from repro.fleet.profiles import ProfileStore
+from repro.fleet.tenants import TenantSpec
+from repro.workloads.synthetic import SyntheticWorkloadConfig
+
+
+def tiny_workload(seed=1, **overrides):
+    base = dict(
+        name=f"fleet-test-{seed}",
+        seed=seed,
+        n_threads=2,
+        n_units=40,
+        unit_insns=20_000,
+        cpi=0.5,
+        clusters_per_kinsn=0.8,
+        alloc_bytes_per_unit=0,
+        cs_probability=0.0,
+        heap_mb=24,
+        nursery_mb=4,
+    )
+    base.update(overrides)
+    return SyntheticWorkloadConfig(**base)
+
+
+def tiny_tenant(
+    name="t0",
+    seed=1,
+    base=3.0,
+    quantum=2.0e4,
+    threshold=0.10,
+    sla=0.30,
+    **workload_overrides,
+):
+    return TenantSpec(
+        name=name,
+        workload=tiny_workload(seed, **workload_overrides),
+        base_freq_ghz=base,
+        quantum_ns=quantum,
+        manager=ManagerConfig(tolerable_slowdown=threshold),
+        sla_slowdown=sla,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_fleet():
+    """Five tenants over four distinct profiles (t0a/t0b share one)."""
+    return [
+        tiny_tenant("t0a", seed=1, base=3.0),
+        tiny_tenant("t0b", seed=1, base=3.0, threshold=0.05, sla=0.40),
+        tiny_tenant("t1", seed=1, base=4.0),
+        tiny_tenant("t2", seed=2, base=3.0, clusters_per_kinsn=2.0),
+        tiny_tenant("t3", seed=2, base=3.0, quantum=4.0e4),
+    ]
+
+
+@pytest.fixture(scope="session")
+def tiny_store(tiny_fleet):
+    """One batched profile build shared by every fleet test."""
+    store = ProfileStore()
+    store.build(tiny_fleet)
+    return store

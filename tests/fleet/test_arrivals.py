@@ -1,0 +1,87 @@
+"""The arrival process: determinism, rate shape, validation."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fleet.arrivals import (
+    ArrivalConfig,
+    generate_arrivals,
+    peak_rate,
+    rate_at,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        ArrivalConfig(rate_per_s=0.0)
+    with pytest.raises(ConfigError):
+        ArrivalConfig(burst_factor=0.5)
+    with pytest.raises(ConfigError):
+        ArrivalConfig(burst_fraction=1.5)
+    with pytest.raises(ConfigError):
+        ArrivalConfig(diurnal_amplitude=1.0)
+    with pytest.raises(ConfigError):
+        ArrivalConfig(burst_period_s=0.0)
+    with pytest.raises(ConfigError):
+        ArrivalConfig(diurnal_period_s=-1.0)
+
+
+def test_arrivals_are_deterministic_and_ascending():
+    config = ArrivalConfig(rate_per_s=1000.0)
+    a = generate_arrivals(config, 200, seed=9)
+    b = generate_arrivals(config, 200, seed=9)
+    assert a == b
+    assert len(a) == 200
+    assert all(later > earlier for earlier, later in zip(a, a[1:]))
+    assert a[0] > 0.0
+
+
+def test_different_seeds_produce_different_processes():
+    config = ArrivalConfig(rate_per_s=1000.0)
+    assert generate_arrivals(config, 50, seed=1) != generate_arrivals(
+        config, 50, seed=2
+    )
+
+
+def test_negative_count_rejected_and_zero_is_empty():
+    config = ArrivalConfig()
+    assert generate_arrivals(config, 0, seed=1) == []
+    with pytest.raises(ConfigError):
+        generate_arrivals(config, -1, seed=1)
+
+
+def test_burst_window_multiplies_the_rate():
+    config = ArrivalConfig(
+        rate_per_s=100.0,
+        burst_factor=4.0,
+        burst_fraction=0.25,
+        burst_period_s=1.0,
+        diurnal_amplitude=0.0,
+    )
+    # Phase 0.1 of a 1 s period is inside the 25% burst window; 0.5 is not.
+    assert rate_at(config, 0.1) == pytest.approx(400.0)
+    assert rate_at(config, 0.5) == pytest.approx(100.0)
+
+
+def test_diurnal_swing_modulates_the_rate():
+    config = ArrivalConfig(
+        rate_per_s=100.0,
+        burst_factor=1.0,
+        diurnal_amplitude=0.5,
+        diurnal_period_s=1.0,
+    )
+    assert rate_at(config, 0.25) == pytest.approx(150.0)  # sin peak
+    assert rate_at(config, 0.75) == pytest.approx(50.0)  # sin trough
+
+
+def test_peak_rate_bounds_the_instantaneous_rate():
+    config = ArrivalConfig(rate_per_s=500.0)
+    envelope = peak_rate(config)
+    for i in range(200):
+        assert rate_at(config, i * 0.003) <= envelope + 1e-9
+
+
+def test_higher_rate_arrives_faster():
+    slow = generate_arrivals(ArrivalConfig(rate_per_s=100.0), 100, seed=3)
+    fast = generate_arrivals(ArrivalConfig(rate_per_s=10_000.0), 100, seed=3)
+    assert fast[-1] < slow[-1]

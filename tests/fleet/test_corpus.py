@@ -1,0 +1,94 @@
+"""The tenant corpus: templates, deterministic draws, promoted specs."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.energy.manager import ManagerConfig
+from repro.fleet.corpus import (
+    TenantTemplate,
+    builtin_templates,
+    draw_tenants,
+    load_corpus_dir,
+    template_from_tenant_spec,
+)
+from repro.fleet.tenants import tenant_spec_to_dict
+from tests.fleet.conftest import tiny_tenant, tiny_workload
+
+
+def test_builtin_templates_cover_the_structural_axes():
+    names = [template.name for template in builtin_templates()]
+    assert names == [
+        "compute", "memstream", "phased", "locky", "barrier", "gcheavy",
+    ]
+
+
+def test_template_validation():
+    with pytest.raises(ConfigError):
+        TenantTemplate(name="x", workload=tiny_workload(), base_freqs=())
+    with pytest.raises(ConfigError):
+        TenantTemplate(name="x", workload=tiny_workload(), quanta=())
+    with pytest.raises(ConfigError):
+        TenantTemplate(name="x", workload=tiny_workload(), weight=0.0)
+
+
+def test_draw_is_deterministic_and_prefix_stable():
+    templates = builtin_templates()
+    a = draw_tenants(templates, 20, seed=4)
+    b = draw_tenants(templates, 20, seed=4)
+    assert a == b
+    # Per-index RNG streams: a smaller fleet is a prefix of a larger one.
+    assert draw_tenants(templates, 8, seed=4) == a[:8]
+    assert draw_tenants(templates, 20, seed=5) != a
+
+
+def test_draw_respects_template_option_sets():
+    templates = builtin_templates()
+    for index, tenant in enumerate(draw_tenants(templates, 30, seed=2)):
+        template = next(
+            t for t in templates if tenant.origin == f"family:{t.name}"
+        )
+        assert tenant.name == f"t{index:05d}.{template.name}"
+        assert tenant.base_freq_ghz in template.base_freqs
+        assert tenant.quantum_ns in template.quanta
+        assert tenant.sla_slowdown > tenant.manager.tolerable_slowdown
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(ConfigError):
+        draw_tenants([], 1, seed=0)
+
+
+def test_single_point_template_pins_everything():
+    spec = tiny_tenant("pinned", threshold=0.05, sla=0.2)
+    template = template_from_tenant_spec(spec, weight=2.0)
+    assert template.base_freqs == (spec.base_freq_ghz,)
+    assert template.quanta == (spec.quantum_ns,)
+    assert template.manager == spec.manager
+    assert template.sla_slowdown == spec.sla_slowdown
+    drawn = draw_tenants([template], 3, seed=11)
+    for tenant in drawn:
+        assert tenant.workload == spec.workload
+        assert tenant.base_freq_ghz == spec.base_freq_ghz
+        assert tenant.manager == ManagerConfig(tolerable_slowdown=0.05)
+        assert tenant.sla_slowdown == 0.2
+
+
+def test_load_corpus_dir_round_trips_promoted_specs(tmp_path):
+    spec = tiny_tenant("promoted-x")
+    (tmp_path / "promoted-x.json").write_text(
+        json.dumps(tenant_spec_to_dict(spec)) + "\n"
+    )
+    templates = load_corpus_dir(tmp_path)
+    assert len(templates) == 1
+    assert templates[0].workload == spec.workload
+    assert templates[0].base_freqs == (spec.base_freq_ghz,)
+
+
+def test_load_corpus_dir_rejects_missing_dir_and_bad_json(tmp_path):
+    with pytest.raises(ConfigError):
+        load_corpus_dir(tmp_path / "nope")
+    (tmp_path / "bad.json").write_text("{not json")
+    with pytest.raises(ConfigError):
+        load_corpus_dir(tmp_path)

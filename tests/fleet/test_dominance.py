@@ -1,0 +1,27 @@
+"""The fleet-policy-dominance invariant, end to end on fuzz cases."""
+
+import pytest
+
+from repro.fleet.dominance import case_dominance_violations
+from repro.qa.context import CaseContext
+from repro.qa.fuzzer import fuzz_case
+from repro.qa.invariants import get_invariant, invariant_names
+
+
+@pytest.fixture(scope="module")
+def context():
+    return CaseContext(fuzz_case(5))
+
+
+def test_invariant_is_registered():
+    assert "fleet-policy-dominance" in invariant_names()
+    invariant = get_invariant("fleet-policy-dominance")
+    assert "power cap" in invariant.description
+
+
+def test_dominance_holds_on_a_fuzz_case(context):
+    assert case_dominance_violations(context) == []
+
+
+def test_registered_invariant_routes_to_the_checker(context):
+    assert get_invariant("fleet-policy-dominance").evaluate(context) == []

@@ -1,0 +1,26 @@
+"""The fleet bench payload: shape, identity gate, validation."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.fleet.fleet_bench import fleet_bench
+
+
+def test_reps_must_be_positive():
+    with pytest.raises(ReproError):
+        fleet_bench(tenants=2, seed=1, reps=0)
+
+
+def test_payload_shape_and_identity_gate():
+    payload = fleet_bench(tenants=5, seed=3, reps=1)
+    assert payload["tenants"] == 5
+    assert payload["identical"] is True
+    assert payload["profiles"] >= 1
+    assert payload["groups"] >= 1
+    assert payload["speedup"] > 0.0
+    for side in ("batched_build_s", "unbatched_build_s"):
+        stats = payload[side]
+        assert set(stats) == {"min", "median", "mean"}
+        assert stats["min"] > 0.0
+    assert payload["engine_wall_s"] > 0.0
+    assert payload["tenants_per_s"] > 0.0

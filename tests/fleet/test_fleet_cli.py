@@ -1,0 +1,54 @@
+"""The repro-fleet CLI: run/report/compare, determinism, errors."""
+
+import pytest
+
+from repro.fleet.cli import main
+
+ARGS = ["--tenants", "5", "--seed", "2", "--rate", "50000"]
+
+
+def test_run_writes_a_deterministic_report(tmp_path, capsys):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert main(["run", *ARGS, "--out", str(out_a)]) == 0
+    text = capsys.readouterr().out
+    assert "Fleet run — paper-governor" in text
+    assert "Per-family rollup" in text
+    assert main(["run", *ARGS, "--out", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+
+
+def test_report_rerenders_a_saved_run(tmp_path, capsys):
+    out = tmp_path / "fleet.json"
+    assert main(["run", *ARGS, "--policy", "static-max",
+                 "--out", str(out)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(out)]) == 0
+    assert "Fleet run — static-max" in capsys.readouterr().out
+
+
+def test_report_on_garbage_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert main(["report", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_compare_runs_selected_policies(capsys):
+    assert main([
+        "compare", *ARGS, "--policies", "static-max,static-oracle",
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "Fleet policy comparison" in text
+    assert "static-max" in text
+    assert "static-oracle (per-tenant)" in text
+
+
+def test_compare_rejects_unknown_policy(capsys):
+    assert main(["compare", *ARGS, "--policies", "bogus"]) == 2
+    assert "unknown fleet policy" in capsys.readouterr().out
+
+
+def test_run_rejects_unknown_policy_at_parse_time():
+    with pytest.raises(SystemExit):
+        main(["run", "--policy", "bogus"])

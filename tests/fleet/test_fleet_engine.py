@@ -1,0 +1,153 @@
+"""The fleet engine: determinism, cap behaviour, report integrity."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.report import report_bytes, report_identity_bytes
+
+SPACING_NS = 5.0e4
+
+
+def _arrivals(n):
+    return [i * SPACING_NS for i in range(n)]
+
+
+def _run(tiny_store, tiny_fleet, policy, cap=200.0, arrivals=None):
+    return run_fleet(
+        FleetConfig(
+            tenants=len(tiny_fleet),
+            seed=1,
+            policy=policy,
+            power_cap_w=cap,
+        ),
+        store=tiny_store,
+        tenants=tiny_fleet,
+        arrivals_ns=arrivals or _arrivals(len(tiny_fleet)),
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        FleetConfig(tenants=0)
+    with pytest.raises(ConfigError):
+        FleetConfig(power_cap_w=0.0)
+    with pytest.raises(ConfigError):
+        FleetConfig(serve_workers=-1)
+
+
+def test_arrival_count_must_match_tenants(tiny_store, tiny_fleet):
+    with pytest.raises(ConfigError, match="arrival time"):
+        run_fleet(
+            FleetConfig(tenants=len(tiny_fleet), seed=1),
+            store=tiny_store,
+            tenants=tiny_fleet,
+            arrivals_ns=[0.0],
+        )
+
+
+def test_injected_run_is_deterministic(tiny_store, tiny_fleet):
+    a = _run(tiny_store, tiny_fleet, "paper-governor")
+    b = _run(tiny_store, tiny_fleet, "paper-governor")
+    assert report_bytes(a) == report_bytes(b)
+
+
+def test_drawn_run_same_seed_identical_different_seed_not():
+    reports = []
+    for _ in range(2):
+        report = run_fleet(FleetConfig(tenants=6, seed=11, policy="static-max"))
+        reports.append(report)
+    assert report_bytes(reports[0]) == report_bytes(reports[1])
+    other = run_fleet(FleetConfig(tenants=6, seed=12, policy="static-max"))
+    assert report_identity_bytes(other) != report_identity_bytes(reports[0])
+
+
+def test_report_rows_are_complete_and_consistent(tiny_store, tiny_fleet):
+    report = _run(tiny_store, tiny_fleet, "paper-governor")
+    assert len(report.tenants) == len(tiny_fleet)
+    for row in report.tenants:
+        assert row["end_ns"] >= row["start_ns"] >= row["arrival_ns"]
+        assert row["slowdown"] >= 0.0
+        assert row["energy_j"] > 0.0
+        assert row["sla_miss"] == (
+            row["slowdown"] > row["sla_slowdown"] + 1e-9
+        )
+    aggregate = report.aggregate
+    assert aggregate["energy_j"] == pytest.approx(
+        sum(row["energy_j"] for row in report.tenants)
+    )
+    assert aggregate["peak_concurrency"] >= 1
+    assert report.diagnostics["batched"] is True
+
+
+def test_static_max_matches_baselines_exactly(tiny_store, tiny_fleet):
+    report = _run(tiny_store, tiny_fleet, "static-max")
+    assert report.aggregate["energy_j"] == pytest.approx(
+        report.aggregate["baseline_energy_j"]
+    )
+    assert report.aggregate["mean_slowdown"] == pytest.approx(0.0, abs=1e-9)
+    assert report.aggregate["sla_misses"] == 0
+
+
+def test_capped_policies_respect_the_cap(tiny_store, tiny_fleet):
+    for policy in ("predictive-admission", "tail-allocator"):
+        report = _run(tiny_store, tiny_fleet, policy, cap=25.0)
+        aggregate = report.aggregate
+        assert aggregate["cap_violations"] == 0
+        if aggregate["solo_cap_overrides"] == 0:
+            assert aggregate["peak_power_w"] <= 25.0 * (1.0 + 1e-9)
+
+
+def test_prediction_driven_energy_never_exceeds_static_max(
+    tiny_store, tiny_fleet
+):
+    baseline = _run(tiny_store, tiny_fleet, "static-max")
+    for policy in ("predictive-admission", "tail-allocator"):
+        report = _run(tiny_store, tiny_fleet, policy, cap=50.0)
+        assert report.aggregate["energy_j"] <= baseline.aggregate[
+            "energy_j"
+        ] * (1.0 + 1e-9)
+
+
+def test_tight_cap_serializes_the_fleet(tiny_store, tiny_fleet):
+    # A cap below any single tenant's floor power: every start is a solo
+    # override and tenants run one at a time.
+    report = _run(tiny_store, tiny_fleet, "predictive-admission", cap=1.0)
+    aggregate = report.aggregate
+    assert aggregate["peak_concurrency"] == 1
+    assert aggregate["solo_cap_overrides"] == len(tiny_fleet)
+    assert aggregate["cap_violations"] == 0
+    assert aggregate["mean_queue_wait_ms"] > 0.0
+
+
+def test_queue_wait_counts_toward_the_sla(tiny_store, tiny_fleet):
+    generous = _run(tiny_store, tiny_fleet, "predictive-admission", cap=1e9)
+    tight = _run(tiny_store, tiny_fleet, "predictive-admission", cap=1.0)
+    assert (
+        tight.aggregate["mean_slowdown"]
+        > generous.aggregate["mean_slowdown"]
+    )
+
+
+def test_oracle_block_reports_the_hindsight_bound(tiny_store, tiny_fleet):
+    report = _run(tiny_store, tiny_fleet, "static-oracle")
+    # With no contention (fixed plans, no cap), the static-oracle fleet
+    # spends exactly the per-tenant oracle energy.
+    assert report.aggregate["energy_j"] == pytest.approx(
+        report.oracle["energy_j"]
+    )
+
+
+def test_identity_bytes_ignore_diagnostics(tiny_store, tiny_fleet):
+    batched = _run(tiny_store, tiny_fleet, "paper-governor")
+    report = run_fleet(
+        FleetConfig(
+            tenants=len(tiny_fleet), seed=1, policy="paper-governor",
+            power_cap_w=200.0, batch=False,
+        ),
+        tenants=tiny_fleet,
+        arrivals_ns=_arrivals(len(tiny_fleet)),
+    )
+    assert report.diagnostics["batched"] is False
+    assert report_identity_bytes(report) == report_identity_bytes(batched)
+    assert report_bytes(report) != report_bytes(batched)  # diagnostics differ

@@ -1,0 +1,91 @@
+"""Fleet reports: canonical bytes, round-trip, percentiles, rendering."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fleet.report import (
+    REPORT_FORMAT_VERSION,
+    FleetReport,
+    load_report,
+    percentile,
+    render_report,
+    report_bytes,
+    report_from_dict,
+    report_identity_bytes,
+    report_to_dict,
+    save_report,
+)
+
+
+def _report(serve=None):
+    return FleetReport(
+        config={"tenants": 2, "seed": 3, "power_cap_w": 100.0},
+        policy="static-max",
+        aggregate={
+            "energy_j": 2.0,
+            "mean_slowdown": 0.01,
+            "sla_miss_rate": 0.0,
+            "peak_concurrency": 2,
+        },
+        oracle={"energy_j": 1.9, "mean_slowdown": 0.02, "sla_miss_rate": 0.0},
+        tenants=[
+            {"name": "a", "origin": "family:x", "energy_j": 1.0,
+             "slowdown": 0.01, "sla_miss": False},
+            {"name": "b", "origin": "family:y", "energy_j": 1.0,
+             "slowdown": 0.01, "sla_miss": True},
+        ],
+        diagnostics={"batched": True, "groups": 1},
+        serve=serve,
+    )
+
+
+def test_percentile_is_an_order_statistic():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert percentile(values, 0.50) == 3.0
+    assert percentile(values, 0.99) == 5.0
+    assert percentile(values, 0.0) == 1.0
+    assert percentile([], 0.5) == 0.0
+
+
+def test_dict_round_trip():
+    report = _report(serve={"workers": 2, "status": "byte-identical"})
+    payload = report_to_dict(report)
+    assert payload["format_version"] == REPORT_FORMAT_VERSION
+    restored = report_from_dict(payload)
+    assert restored == report
+
+
+def test_loader_rejects_wrong_kind():
+    payload = report_to_dict(_report())
+    payload["kind"] = "other"
+    with pytest.raises(ConfigError):
+        report_from_dict(payload)
+
+
+def test_bytes_are_canonical_and_identity_drops_diagnostics():
+    a = _report()
+    b = _report()
+    b.diagnostics = {"batched": False, "groups": 7}
+    assert report_bytes(a) == report_bytes(_report())
+    assert report_bytes(a) != report_bytes(b)
+    assert report_identity_bytes(a) == report_identity_bytes(b)
+    assert report_bytes(a).endswith(b"\n")
+
+
+def test_save_and_load_round_trip(tmp_path):
+    report = _report()
+    path = save_report(report, tmp_path / "sub" / "fleet.json")
+    assert load_report(path) == report
+    with pytest.raises(ConfigError):
+        load_report(tmp_path / "missing.json")
+
+
+def test_render_includes_rollup_and_serve_sections():
+    text = render_report(_report(serve={"workers": 2, "groups": 1,
+                                        "decisions": 4,
+                                        "status": "byte-identical"}))
+    assert "Fleet run — static-max" in text
+    assert "family:x" in text and "family:y" in text
+    assert "static oracle" in text
+    assert "Serve-backed decision validation" in text
+    assert "byte-identical" in text

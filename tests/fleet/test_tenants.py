@@ -1,0 +1,104 @@
+"""Tenant specs: validation, JSON round-trip, profile identity, promote."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.energy.manager import ManagerConfig
+from repro.fleet.tenants import (
+    PROMOTED_SLA_MARGIN,
+    TENANT_FORMAT_VERSION,
+    TENANT_KIND,
+    TenantSpec,
+    profile_key,
+    tenant_from_fuzz_case,
+    tenant_spec_from_dict,
+    tenant_spec_to_dict,
+    workload_fingerprint,
+)
+from repro.qa.fuzzer import fuzz_case
+from tests.fleet.conftest import tiny_tenant, tiny_workload
+
+
+def test_validation_rejects_bad_fields():
+    with pytest.raises(ConfigError):
+        tiny_tenant(base=0.0)
+    with pytest.raises(ConfigError):
+        tiny_tenant(quantum=-1.0)
+    with pytest.raises(ConfigError):
+        tiny_tenant(sla=-0.1)
+
+
+def test_dict_round_trip_is_exact():
+    spec = tiny_tenant("rt", seed=5, threshold=0.05)
+    payload = tenant_spec_to_dict(spec)
+    assert payload["kind"] == TENANT_KIND
+    assert payload["format_version"] == TENANT_FORMAT_VERSION
+    restored = tenant_spec_from_dict(payload)
+    assert restored == spec
+    assert profile_key(restored) == profile_key(spec)
+
+
+def test_loader_rejects_wrong_kind_and_version():
+    payload = tenant_spec_to_dict(tiny_tenant())
+    bad_kind = dict(payload, kind="something-else")
+    with pytest.raises(ConfigError):
+        tenant_spec_from_dict(bad_kind)
+    bad_version = dict(payload, format_version=TENANT_FORMAT_VERSION + 1)
+    with pytest.raises(ConfigError):
+        tenant_spec_from_dict(bad_version)
+
+
+def test_loader_reports_malformed_payloads():
+    payload = tenant_spec_to_dict(tiny_tenant())
+    del payload["manager"]
+    with pytest.raises(ConfigError, match="malformed"):
+        tenant_spec_from_dict(payload)
+
+
+def test_profile_key_ignores_name_manager_and_sla():
+    a = tiny_tenant("a", threshold=0.02, sla=0.1)
+    b = tiny_tenant("b", threshold=0.20, sla=0.4)
+    assert profile_key(a) == profile_key(b)
+
+
+def test_profile_key_tracks_shape_base_and_quantum():
+    base = tiny_tenant()
+    assert profile_key(tiny_tenant(base=4.0)) != profile_key(base)
+    assert profile_key(tiny_tenant(quantum=4.0e4)) != profile_key(base)
+    assert profile_key(tiny_tenant(seed=9)) != profile_key(base)
+
+
+def test_workload_fingerprint_is_content_addressed():
+    assert workload_fingerprint(tiny_workload(3)) == workload_fingerprint(
+        tiny_workload(3)
+    )
+    assert workload_fingerprint(tiny_workload(3)) != workload_fingerprint(
+        tiny_workload(4)
+    )
+
+
+def test_program_builds_from_spec():
+    program = tiny_tenant().program()
+    assert program.threads
+
+
+def test_promote_adapter_carries_case_and_derives_sla():
+    case = fuzz_case(17)
+    tenant = tenant_from_fuzz_case(case)
+    assert tenant.name == "qa-seed-17"
+    assert tenant.workload == case.config
+    assert tenant.base_freq_ghz == case.base_freq_ghz
+    assert tenant.quantum_ns == case.quantum_ns
+    assert tenant.manager == case.manager
+    assert tenant.sla_slowdown == pytest.approx(
+        case.manager.tolerable_slowdown + PROMOTED_SLA_MARGIN
+    )
+    assert tenant.origin == "promoted:qa-seed-17"
+    assert tenant.tags["origin"] == "repro-qa"
+
+
+def test_promoted_tenant_round_trips_like_any_other():
+    tenant = tenant_from_fuzz_case(fuzz_case(23), name="picked")
+    assert tenant.name == "picked"
+    restored = tenant_spec_from_dict(tenant_spec_to_dict(tenant))
+    assert restored == tenant

@@ -1,0 +1,69 @@
+"""repro-qa promote: artifact -> tenant spec -> fleet corpus round-trip."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.fleet.corpus import draw_tenants, load_corpus_dir
+from repro.fleet.tenants import tenant_from_fuzz_case
+from repro.qa.artifacts import Failure, ReproArtifact, save_artifact
+from repro.qa.cli import main
+from repro.qa.fuzzer import fuzz_case
+from repro.qa.promote import promote_artifact, promoted_tenant
+
+
+@pytest.fixture()
+def artifact_path(tmp_path):
+    case = fuzz_case(31)
+    artifact = ReproArtifact(
+        case=case,
+        failures=[Failure("epoch-conservation", ["epoch 2 leaks 5 ns"])],
+    )
+    return save_artifact(artifact, tmp_path / "artifacts")
+
+
+def test_promote_round_trips_the_case(artifact_path, tmp_path):
+    out_dir = tmp_path / "corpus"
+    written = promote_artifact(str(artifact_path), out_dir=str(out_dir))
+    assert written.name == "qa-seed-31.json"
+    restored = promoted_tenant(written)
+    assert restored == tenant_from_fuzz_case(fuzz_case(31))
+    assert restored.origin == "promoted:qa-seed-31"
+
+
+def test_promoted_spec_feeds_the_fleet_corpus(artifact_path, tmp_path):
+    out_dir = tmp_path / "corpus"
+    promote_artifact(str(artifact_path), out_dir=str(out_dir), name="hot")
+    templates = load_corpus_dir(out_dir)
+    assert len(templates) == 1
+    drawn = draw_tenants(templates, 2, seed=0)
+    expected = tenant_from_fuzz_case(fuzz_case(31))
+    for tenant in drawn:
+        assert tenant.workload == expected.workload
+        assert tenant.base_freq_ghz == expected.base_freq_ghz
+        assert tenant.quantum_ns == expected.quantum_ns
+        assert tenant.manager == expected.manager
+        assert tenant.sla_slowdown == expected.sla_slowdown
+        assert tenant.origin == expected.origin
+
+
+def test_promoted_tenant_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigError):
+        promoted_tenant(bad)
+    with pytest.raises(ConfigError):
+        promoted_tenant(tmp_path / "missing.json")
+
+
+def test_cli_promote_subcommand(artifact_path, tmp_path, capsys):
+    out_dir = tmp_path / "cli-corpus"
+    assert main(["promote", str(artifact_path),
+                 "--out-dir", str(out_dir)]) == 0
+    text = capsys.readouterr().out
+    assert "tenant spec written to" in text
+    assert (out_dir / "qa-seed-31.json").exists()
+
+
+def test_cli_promote_missing_artifact_exits_2(tmp_path, capsys):
+    assert main(["promote", str(tmp_path / "nope.json")]) == 2
+    assert "error:" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Fleet stepping benchmark: batched vs naive per-tenant profile builds.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_fleet.py                   # full scale
+    PYTHONPATH=src python tools/bench_fleet.py --tenants 64 --reps 1
+    python tools/bench_fleet.py --check BENCH_fleet.json         # CI gate
+
+Times how long stepping a drawn fleet's profiles takes two ways (see
+``repro.fleet.fleet_bench``): the batched path — tenants deduplicated
+into distinct shapes, simulated through ``repro.sim.batch`` with one
+shared timing store per workload family — versus the naive path that
+simulates every tenant independently. Both stores then drive one full
+engine run each and the reports must be byte-identical on the
+determinism view; the run aborts otherwise, so the speedup is pure
+mechanics.
+
+``BENCH_fleet.json`` commits the result. With ``--check BASELINE`` a
+fresh run is compared against the committed baseline and exits non-zero
+when the speedup falls below 70% of baseline *and* below the 2x
+absolute floor this PR guarantees — the CI bench-fleet gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.fleet.fleet_bench import fleet_bench  # noqa: E402
+
+#: CI fails when the speedup drops below this fraction of the baseline...
+REGRESSION_FLOOR = 0.70
+#: ...unless it still clears the absolute floor the issue guarantees.
+ABSOLUTE_FLOOR = 2.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, default=128,
+                        help="fleet size to draw (default 128)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="tenant-draw seed (default 7)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="build repetitions per side (default 2; the "
+                             "gated speedup uses the medians)")
+    parser.add_argument("--out", default="BENCH_fleet.json",
+                        help="output JSON path")
+    parser.add_argument(
+        "--check", metavar="BASELINE_JSON", default=None,
+        help="compare the speedup against a committed baseline file; "
+             "exit 1 on a >30%% regression below the absolute floor",
+    )
+    args = parser.parse_args(argv)
+
+    payload = fleet_bench(
+        tenants=args.tenants, seed=args.seed, reps=args.reps
+    )
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"fleet {payload['tenants']} tenants -> {payload['profiles']} "
+        f"profiles in {payload['groups']} groups: naive "
+        f"{payload['unbatched_build_s']['median']:.3f}s -> batched "
+        f"{payload['batched_build_s']['median']:.3f}s = "
+        f"{payload['speedup']:.2f}x (engine {payload['engine_wall_s']:.3f}s,"
+        f" {payload['tenants_per_s']:.1f} tenants/s, reports identical)"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        ratio = payload["speedup"] / baseline["speedup"]
+        print(
+            f"speedup {payload['speedup']:.2f}x vs baseline "
+            f"{baseline['speedup']:.2f}x = {ratio:.2f} "
+            f"(ratio floor {REGRESSION_FLOOR:.2f}, "
+            f"absolute floor {ABSOLUTE_FLOOR:.1f}x)"
+        )
+        if ratio < REGRESSION_FLOOR and payload["speedup"] < ABSOLUTE_FLOOR:
+            print("FAIL: fleet batching speedup regressed by more than 30%")
+            return 1
+        print("ok: within regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
