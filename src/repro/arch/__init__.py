@@ -14,6 +14,13 @@ maintaining the performance counters the predictors read:
 """
 
 from repro.arch.cache import Cache, CacheConfig
+from repro.arch.clusters import (
+    ClusterDvfs,
+    ClusterSpec,
+    ClusterTopology,
+    big_little,
+    homogeneous,
+)
 from repro.arch.core import CoreModel, SegmentTiming
 from repro.arch.counters import CounterSet
 from repro.arch.dram import DramConfig, DramModel
@@ -26,6 +33,9 @@ __all__ = [
     "Cache",
     "CacheConfig",
     "CacheHierarchy",
+    "ClusterDvfs",
+    "ClusterSpec",
+    "ClusterTopology",
     "CoreModel",
     "CounterSet",
     "DramConfig",
@@ -37,5 +47,7 @@ __all__ = [
     "StoreBurstTiming",
     "StoreQueueConfig",
     "StoreQueueModel",
+    "big_little",
     "haswell_i7_4770k",
+    "homogeneous",
 ]

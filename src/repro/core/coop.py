@@ -77,6 +77,7 @@ class CoopPredictor:
         trace: SimulationTrace,
         target_freq_ghz: float,
         base_freq_ghz: Optional[float] = None,
+        uncore_scale: float = 1.0,
     ) -> float:
         """Predicted end-to-end execution time at ``target_freq_ghz``."""
         base = base_freq_ghz if base_freq_ghz is not None else trace.base_freq_ghz
@@ -91,7 +92,9 @@ class CoopPredictor:
         total = 0.0
         for phase in phases:
             tids: Sequence[int] = app_tids if phase.kind == "app" else gc_tids
-            total += self._predict_phase(phase, tids, timeline, base, target_freq_ghz)
+            total += self._predict_phase(
+                phase, tids, timeline, base, target_freq_ghz, uncore_scale
+            )
         return total
 
     def predict_epochs(
@@ -99,6 +102,7 @@ class CoopPredictor:
         epochs: Sequence[Epoch],
         base_freq_ghz: float,
         target_freq_ghz: float,
+        uncore_scale: float = 1.0,
     ) -> float:
         """COOP over an epoch window (the online / per-quantum variant).
 
@@ -115,17 +119,21 @@ class CoopPredictor:
         for epoch in epochs:
             if group and epoch.during_gc != group[0].during_gc:
                 total += self._predict_epoch_group(
-                    group, base_freq_ghz, target_freq_ghz, _sum_thread_deltas
+                    group, base_freq_ghz, target_freq_ghz, _sum_thread_deltas,
+                    uncore_scale,
                 )
                 group = []
             group.append(epoch)
         if group:
             total += self._predict_epoch_group(
-                group, base_freq_ghz, target_freq_ghz, _sum_thread_deltas
+                group, base_freq_ghz, target_freq_ghz, _sum_thread_deltas,
+                uncore_scale,
             )
         return total
 
-    def _predict_epoch_group(self, group, base, target, sum_deltas) -> float:
+    def _predict_epoch_group(
+        self, group, base, target, sum_deltas, uncore_scale=1.0
+    ) -> float:
         span = group[-1].end_ns - group[0].start_ns
         summed = sum_deltas(group)
         if not summed:
@@ -133,7 +141,7 @@ class CoopPredictor:
         best = 0.0
         for counters in summed.values():
             decomposition = decompose(span, counters, self.estimator)
-            best = max(best, decomposition.predict_ns(base, target))
+            best = max(best, decomposition.predict_ns(base, target, uncore_scale))
         return best
 
     def _predict_phase(
@@ -143,6 +151,7 @@ class CoopPredictor:
         timeline: CounterTimeline,
         base: float,
         target: float,
+        uncore_scale: float = 1.0,
     ) -> float:
         best = 0.0
         any_thread = False
@@ -155,7 +164,7 @@ class CoopPredictor:
             any_thread = True
             delta = timeline.delta(tid, start, end)
             decomposition = decompose(end - start, delta, self.estimator)
-            best = max(best, decomposition.predict_ns(base, target))
+            best = max(best, decomposition.predict_ns(base, target, uncore_scale))
         if not any_thread:
             # No live thread in the phase window: keep measured duration.
             return phase.duration_ns

@@ -50,28 +50,35 @@ class DepPredictor:
         trace: SimulationTrace,
         target_freq_ghz: float,
         base_freq_ghz: Optional[float] = None,
+        uncore_scale: float = 1.0,
     ) -> float:
         """Predicted end-to-end execution time at ``target_freq_ghz``."""
         base = base_freq_ghz if base_freq_ghz is not None else trace.base_freq_ghz
         epochs = extract_epochs(trace.events)
-        return self.predict_epochs(epochs, base, target_freq_ghz)
+        return self.predict_epochs(
+            epochs, base, target_freq_ghz, uncore_scale=uncore_scale
+        )
 
     def predict_epochs(
         self,
         epochs: Sequence[Epoch],
         base_freq_ghz: float,
         target_freq_ghz: float,
+        uncore_scale: float = 1.0,
     ) -> float:
         """Aggregate predicted epoch durations (Algorithm 1 when across-epoch).
 
         Exposed separately so the energy manager can run DEP over the
-        epochs of a single scheduling quantum.
+        epochs of a single scheduling quantum. ``uncore_scale`` multiplies
+        each thread's non-scaling time (heterogeneous uncore clocks);
+        1.0 is the homogeneous machine.
         """
         deltas: Dict[int, float] = {}
         total = 0.0
         for epoch in epochs:
             total += self.predict_epoch(
-                epoch, base_freq_ghz, target_freq_ghz, deltas
+                epoch, base_freq_ghz, target_freq_ghz, deltas,
+                uncore_scale=uncore_scale,
             )
         return total
 
@@ -81,6 +88,7 @@ class DepPredictor:
         base: float,
         target: float,
         deltas: Dict[int, float],
+        uncore_scale: float = 1.0,
     ) -> float:
         """Predicted duration of one epoch; updates ``deltas`` in place.
 
@@ -96,7 +104,7 @@ class DepPredictor:
         predicted: Dict[int, float] = {}
         for tid, counters in epoch.thread_deltas.items():
             decomposition = decompose(counters.active_ns, counters, self.estimator)
-            predicted[tid] = decomposition.predict_ns(base, target)
+            predicted[tid] = decomposition.predict_ns(base, target, uncore_scale)
         if not self.across_epoch_ctp:
             return max(predicted.values())
         # Algorithm 1: effective per-thread times adjusted by delta counters.

@@ -38,6 +38,7 @@ class MCritPredictor:
         trace: SimulationTrace,
         target_freq_ghz: float,
         base_freq_ghz: Optional[float] = None,
+        uncore_scale: float = 1.0,
     ) -> float:
         """Predicted end-to-end execution time at ``target_freq_ghz``."""
         base = base_freq_ghz if base_freq_ghz is not None else trace.base_freq_ghz
@@ -51,7 +52,8 @@ class MCritPredictor:
             counters = timeline.final_counters(tid)
             decomposition = decompose(wall, counters, self.estimator)
             predicted = max(
-                predicted, decomposition.predict_ns(base, target_freq_ghz)
+                predicted,
+                decomposition.predict_ns(base, target_freq_ghz, uncore_scale),
             )
         return predicted
 
@@ -60,6 +62,7 @@ class MCritPredictor:
         epochs: Sequence[Epoch],
         base_freq_ghz: float,
         target_freq_ghz: float,
+        uncore_scale: float = 1.0,
     ) -> float:
         """M+CRIT over an epoch window (the online / per-quantum variant).
 
@@ -80,7 +83,10 @@ class MCritPredictor:
         for counters in summed.values():
             decomposition = decompose(span, counters, self.estimator)
             predicted = max(
-                predicted, decomposition.predict_ns(base_freq_ghz, target_freq_ghz)
+                predicted,
+                decomposition.predict_ns(
+                    base_freq_ghz, target_freq_ghz, uncore_scale
+                ),
             )
         return predicted
 

@@ -42,13 +42,32 @@ class TimeDecomposition:
         """Measured wall time at the base frequency."""
         return self.scaling_ns + self.nonscaling_ns
 
-    def predict_ns(self, base_freq_ghz: float, target_freq_ghz: float) -> float:
-        """Predicted wall time at ``target_freq_ghz``."""
+    def predict_ns(
+        self,
+        base_freq_ghz: float,
+        target_freq_ghz: float,
+        uncore_scale: float = 1.0,
+    ) -> float:
+        """Predicted wall time at ``target_freq_ghz``.
+
+        ``uncore_scale`` multiplies the non-scaling (memory/stall) time:
+        it is the ratio of the reference uncore frequency to the target
+        uncore frequency, so 1.0 — the default, and the only value the
+        homogeneous machine ever produces — evaluates the paper's exact
+        expression.
+        """
         if base_freq_ghz <= 0 or target_freq_ghz <= 0:
             raise PredictionError(
                 f"frequencies must be positive ({base_freq_ghz} -> {target_freq_ghz})"
             )
-        return self.scaling_ns * base_freq_ghz / target_freq_ghz + self.nonscaling_ns
+        if uncore_scale == 1.0:
+            return self.scaling_ns * base_freq_ghz / target_freq_ghz + self.nonscaling_ns
+        if uncore_scale <= 0:
+            raise PredictionError(f"uncore_scale must be positive ({uncore_scale})")
+        return (
+            self.scaling_ns * base_freq_ghz / target_freq_ghz
+            + self.nonscaling_ns * uncore_scale
+        )
 
 
 def decompose(

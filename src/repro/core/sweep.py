@@ -38,6 +38,14 @@ pairwise summation reassociates additions and would break byte identity.
 Anything the kernels do not recognize (custom predictors, unknown
 estimators, irregular traces) falls back to the scalar code, so results
 never depend on which path ran.
+
+Heterogeneous targets: a sweep target is either a core frequency in GHz
+(the paper's axis) or a ``(core_freq_ghz, uncore_scale)`` tuple, where
+the scale multiplies the non-scaling (memory/stall) time — the uncore
+DVFS axis (:func:`split_target`). Homogeneous sweeps (every scale 1.0,
+which is what every plain-float target means) are gated onto the
+verbatim legacy expressions, so the new axis cannot perturb a single
+bit of the paper's configuration.
 """
 
 from __future__ import annotations
@@ -196,6 +204,51 @@ def _check_freqs(base: float, targets: Sequence[float]) -> None:
         raise PredictionError(
             f"frequencies must be positive ({base} -> {tuple(targets)})"
         )
+
+
+#: A sweep target: a core frequency in GHz, or ``(core_freq_ghz,
+#: uncore_scale)`` with the scale multiplying non-scaling time.
+Target = Union[float, Tuple[float, float]]
+
+
+def split_target(target: Target) -> Tuple[float, float]:
+    """``(core_freq_ghz, uncore_scale)`` of one sweep target.
+
+    Plain numbers are homogeneous targets (scale exactly 1.0); pairs
+    carry an explicit uncore scale.
+    """
+    if isinstance(target, (tuple, list)):
+        if len(target) != 2:
+            raise PredictionError(
+                f"target tuples are (core_freq_ghz, uncore_scale), "
+                f"got {target!r}"
+            )
+        freq, uncore = float(target[0]), float(target[1])
+    else:
+        freq, uncore = float(target), 1.0
+    if uncore <= 0:
+        raise PredictionError(f"uncore_scale must be positive ({uncore})")
+    return freq, uncore
+
+
+def split_targets(
+    targets: Sequence[Target],
+) -> Tuple[List[float], Optional[List[float]]]:
+    """``(freqs, uncore_scales_or_None)`` of a target list.
+
+    The second element is ``None`` when every target is homogeneous —
+    the gate the kernels use to run the byte-identical legacy
+    expressions.
+    """
+    freqs: List[float] = []
+    uncore: List[float] = []
+    for target in targets:
+        f, u = split_target(target)
+        freqs.append(f)
+        uncore.append(u)
+    if all(u == 1.0 for u in uncore):
+        return freqs, None
+    return freqs, uncore
 
 
 class EpochArrays:
@@ -455,13 +508,24 @@ def dep_window_sweep(
     targets: Sequence[float],
 ) -> List[float]:
     """DEP over an epoch window at every target, one clamp pass total."""
-    _check_freqs(base_freq_ghz, targets)
+    freqs, uncore = split_targets(targets)
+    _check_freqs(base_freq_ghz, freqs)
     scaling, nonscaling = arrays.decomposed(predictor.estimator)
-    # (entries, targets): per lane this is exactly the scalar expression
-    # ``scaling * base / target + nonscaling``, left-to-right.
-    predicted = (scaling * base_freq_ghz)[:, None] / np.asarray(
-        targets, dtype=np.float64
-    )[None, :] + nonscaling[:, None]
+    if uncore is None:
+        # (entries, targets): per lane this is exactly the scalar expression
+        # ``scaling * base / target + nonscaling``, left-to-right.
+        predicted = (scaling * base_freq_ghz)[:, None] / np.asarray(
+            freqs, dtype=np.float64
+        )[None, :] + nonscaling[:, None]
+    else:
+        # Heterogeneous lanes: the lane's uncore scale multiplies the
+        # non-scaling term, elementwise-identical to
+        # ``predict_ns(base, f, uncore_scale)``.
+        predicted = (scaling * base_freq_ghz)[:, None] / np.asarray(
+            freqs, dtype=np.float64
+        )[None, :] + nonscaling[:, None] * np.asarray(
+            uncore, dtype=np.float64
+        )[None, :]
     totals = ctp_total_multi(
         arrays.epoch_meta(), predicted, predictor.across_epoch_ctp
     )
@@ -492,7 +556,8 @@ def mcrit_window_sweep(
     targets: Sequence[float],
 ) -> List[float]:
     """M+CRIT window semantics at every target from one summation."""
-    _check_freqs(base_freq_ghz, targets)
+    pairs = [split_target(target) for target in targets]
+    _check_freqs(base_freq_ghz, [freq for freq, _ in pairs])
     if not epochs:
         return [0.0 for _ in targets]
     span = epochs[-1].end_ns - epochs[0].start_ns
@@ -500,10 +565,14 @@ def mcrit_window_sweep(
     if not summed:
         return [span for _ in targets]
     scaling, nonscaling = _window_decompose(predictor.estimator, span, summed)
-    return [
-        max(0.0, float((scaling * base_freq_ghz / target + nonscaling).max()))
-        for target in targets
-    ]
+    results: List[float] = []
+    for target, uncore in pairs:
+        if uncore == 1.0:
+            values = scaling * base_freq_ghz / target + nonscaling
+        else:
+            values = scaling * base_freq_ghz / target + nonscaling * uncore
+        results.append(max(0.0, float(values.max())))
+    return results
 
 
 def coop_window_sweep(
@@ -513,7 +582,8 @@ def coop_window_sweep(
     targets: Sequence[float],
 ) -> List[float]:
     """COOP window semantics (GC-run phase groups) at every target."""
-    _check_freqs(base_freq_ghz, targets)
+    pairs = [split_target(target) for target in targets]
+    _check_freqs(base_freq_ghz, [freq for freq, _ in pairs])
     groups: List[List[Epoch]] = []
     group: List[Epoch] = []
     for epoch in epochs:
@@ -536,14 +606,19 @@ def coop_window_sweep(
                 (span, _window_decompose(predictor.estimator, span, summed))
             )
     results: List[float] = []
-    for target in targets:
+    for target, uncore in pairs:
         total = 0.0
         for span, decomposition in metas:
             if decomposition is None:
                 total += span
             else:
                 scaling, nonscaling = decomposition
-                values = scaling * base_freq_ghz / target + nonscaling
+                if uncore == 1.0:
+                    values = scaling * base_freq_ghz / target + nonscaling
+                else:
+                    values = (
+                        scaling * base_freq_ghz / target + nonscaling * uncore
+                    )
                 total += max(0.0, float(values.max()))
         results.append(total)
     return results
@@ -577,10 +652,20 @@ def sweep_predict_epochs(
         return mcrit_window_sweep(predictor, epochs, base_freq_ghz, targets)
     if type(predictor) is CoopPredictor:
         return coop_window_sweep(predictor, epochs, base_freq_ghz, targets)
-    return [
-        predictor.predict_epochs(epochs, base_freq_ghz, target)
-        for target in targets
-    ]
+    results: List[float] = []
+    for target in targets:
+        freq, uncore = split_target(target)
+        if uncore == 1.0:
+            # Keep the legacy call shape: custom predictors need not
+            # accept an uncore keyword to stay sweepable.
+            results.append(predictor.predict_epochs(epochs, base_freq_ghz, freq))
+        else:
+            results.append(
+                predictor.predict_epochs(
+                    epochs, base_freq_ghz, freq, uncore_scale=uncore
+                )
+            )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -645,10 +730,23 @@ class TraceSweep:
             return self._mcrit_sweep(predictor, base, targets)
         if type(predictor) is CoopPredictor:
             return self._coop_sweep(predictor, base, targets)
-        return [
-            predictor.predict_total_ns(self.trace, target, base_freq_ghz=base)
-            for target in targets
-        ]
+        results: List[float] = []
+        for target in targets:
+            freq, uncore = split_target(target)
+            if uncore == 1.0:
+                results.append(
+                    predictor.predict_total_ns(
+                        self.trace, freq, base_freq_ghz=base
+                    )
+                )
+            else:
+                results.append(
+                    predictor.predict_total_ns(
+                        self.trace, freq, base_freq_ghz=base,
+                        uncore_scale=uncore,
+                    )
+                )
+        return results
 
     # -- M+CRIT --------------------------------------------------------
 
@@ -670,7 +768,8 @@ class TraceSweep:
     def _mcrit_sweep(
         self, predictor: MCritPredictor, base: float, targets: List[float]
     ) -> List[float]:
-        _check_freqs(base, targets)
+        pairs = [split_target(target) for target in targets]
+        _check_freqs(base, [freq for freq, _ in pairs])
         walls, counter_list = self._mcrit_gather()
         if walls.size and float(walls.min()) < 0:
             raise PredictionError(f"negative wall time {float(walls.min())}")
@@ -679,10 +778,14 @@ class TraceSweep:
         )
         nonscaling = np.minimum(np.maximum(estimate, 0.0), walls)
         scaling = walls - nonscaling
-        return [
-            max(0.0, float((scaling * base / target + nonscaling).max()))
-            for target in targets
-        ]
+        results: List[float] = []
+        for target, uncore in pairs:
+            if uncore == 1.0:
+                values = scaling * base / target + nonscaling
+            else:
+                values = scaling * base / target + nonscaling * uncore
+            results.append(max(0.0, float(values.max())))
+        return results
 
     # -- COOP ----------------------------------------------------------
 
@@ -733,7 +836,8 @@ class TraceSweep:
     def _coop_sweep(
         self, predictor: CoopPredictor, base: float, targets: List[float]
     ) -> List[float]:
-        _check_freqs(base, targets)
+        pairs = [split_target(target) for target in targets]
+        _check_freqs(base, [freq for freq, _ in pairs])
         metas, walls, counter_list = self._coop_gather()
         if walls.size and float(walls.min()) < 0:
             raise PredictionError(f"negative wall time {float(walls.min())}")
@@ -743,8 +847,11 @@ class TraceSweep:
         nonscaling = np.minimum(np.maximum(estimate, 0.0), walls)
         scaling = walls - nonscaling
         results: List[float] = []
-        for target in targets:
-            values = scaling * base / target + nonscaling
+        for target, uncore in pairs:
+            if uncore == 1.0:
+                values = scaling * base / target + nonscaling
+            else:
+                values = scaling * base / target + nonscaling * uncore
             total = 0.0
             for duration_ns, lo, hi in metas:
                 if hi == lo:

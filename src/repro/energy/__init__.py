@@ -17,19 +17,31 @@ threshold. This package provides:
 """
 
 from repro.energy.account import EnergyReport, compute_energy
-from repro.energy.manager import EnergyManager, ManagerConfig
-from repro.energy.power import PowerModel, PowerModelConfig
+from repro.energy.manager import ClusterManager, EnergyManager, ManagerConfig
+from repro.energy.power import PowerModel, PowerModelConfig, node_power_config
 from repro.energy.static_oracle import StaticOracleResult, static_optimal
-from repro.energy.vftable import VfTable
+from repro.energy.vftable import (
+    NodeVfTable,
+    TECH_NODES,
+    TechNode,
+    VfTable,
+    get_tech_node,
+)
 
 __all__ = [
+    "ClusterManager",
     "EnergyManager",
     "EnergyReport",
     "ManagerConfig",
+    "NodeVfTable",
     "PowerModel",
     "PowerModelConfig",
     "StaticOracleResult",
+    "TECH_NODES",
+    "TechNode",
     "VfTable",
     "compute_energy",
+    "get_tech_node",
+    "node_power_config",
     "static_optimal",
 ]

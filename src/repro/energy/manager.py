@@ -27,8 +27,8 @@ that slices each interval's epochs out of the live trace and delegates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ConfigError
 from repro.arch.specs import MachineSpec
@@ -125,12 +125,33 @@ class EnergyManagerSession:
         predictor: Optional[DepPredictor] = None,
         power_model: Optional["PowerModel"] = None,
         sweep: bool = True,
+        candidates: Optional[Sequence[float]] = None,
+        uncore_scale: float = 1.0,
     ) -> None:
         self.spec = spec
         self.config = config or ManagerConfig()
         self.predictor = predictor or DepPredictor(
             estimator=with_burst(crit_nonscaling), name="DEP+BURST"
         )
+        #: Candidate set points, ascending. The default — the machine's
+        #: full ladder with the spec's maximum as the reference point —
+        #: is the paper's configuration; a cluster manager narrows this
+        #: to its domain's node-trimmed ladder.
+        if candidates is None:
+            self._candidates = tuple(spec.frequencies())
+            self._f_max = spec.max_freq_ghz
+        else:
+            self._candidates = tuple(sorted(candidates))
+            if not self._candidates:
+                raise ConfigError("candidates must be non-empty")
+            self._f_max = self._candidates[-1]
+        #: Uncore-frequency scale applied to non-scaling time in every
+        #: prediction (reference_uncore / domain_uncore); 1.0 — the
+        #: default and the homogeneous machine — leaves every prediction
+        #: on the paper's exact expression.
+        if uncore_scale <= 0:
+            raise ConfigError(f"uncore_scale must be positive ({uncore_scale})")
+        self.uncore_scale = uncore_scale
         #: Evaluate the whole candidate V/f table per quantum in one
         #: sweep-kernel call instead of one ``predict_epochs`` per set
         #: point. Decisions are bit-identical either way (the kernels
@@ -161,12 +182,12 @@ class EnergyManagerSession:
         if not epochs:
             return None
         base = record.freq_ghz
-        f_max = self.spec.max_freq_ghz
+        f_max = self._f_max
         predictions = self._sweep_candidates(epochs, base) if self.sweep else None
         if predictions is not None:
             predicted_at_max = predictions[f_max]
         else:
-            predicted_at_max = self.predictor.predict_epochs(epochs, base, f_max)
+            predicted_at_max = self._predict_scalar(epochs, base, f_max)
         if predicted_at_max <= 0:
             return None
         bound = self._interval_bound(record, predicted_at_max)
@@ -191,27 +212,39 @@ class EnergyManagerSession:
             return chosen
         return None
 
+    def _predict_scalar(self, epochs, base, freq):
+        """One scalar prediction honouring the session's uncore scale."""
+        if self.uncore_scale == 1.0:
+            return self.predictor.predict_epochs(epochs, base, freq)
+        return self.predictor.predict_epochs(
+            epochs, base, freq, uncore_scale=self.uncore_scale
+        )
+
     def _sweep_candidates(self, epochs, base):
         """All candidate predictions (plus the maximum frequency) from
         one sweep-kernel call over one epoch decomposition."""
-        targets = list(self.spec.frequencies())
-        f_max = self.spec.max_freq_ghz
-        if f_max not in targets:
-            targets.append(f_max)
+        freqs = list(self._candidates)
+        f_max = self._f_max
+        if f_max not in freqs:
+            freqs.append(f_max)
+        if self.uncore_scale == 1.0:
+            targets = freqs
+        else:
+            targets = [(freq, self.uncore_scale) for freq in freqs]
         arrays = EpochArrays.from_epochs(epochs)
         values = sweep_predict_epochs(self.predictor, arrays, base, targets)
-        return dict(zip(targets, values))
+        return dict(zip(freqs, values))
 
     def _choose_min_energy(
         self, epochs, base, predicted_at_max, bound, predictions=None
     ):
         """The paper's policy: lowest frequency within the slowdown bound."""
-        f_max = self.spec.max_freq_ghz
-        for candidate in self.spec.frequencies():  # ascending
+        f_max = self._f_max
+        for candidate in self._candidates:  # ascending
             if predictions is not None:
                 predicted = predictions[candidate]
             else:
-                predicted = self.predictor.predict_epochs(epochs, base, candidate)
+                predicted = self._predict_scalar(epochs, base, candidate)
             slowdown = predicted / predicted_at_max - 1.0
             if slowdown <= bound:
                 return candidate, slowdown
@@ -226,15 +259,15 @@ class EnergyManagerSession:
         over the interval's measured counters re-timed to the predicted
         duration — the same approximation the interval accounting uses.
         """
-        f_max = self.spec.max_freq_ghz
+        f_max = self._f_max
         counters = record.aggregate()
         best = (f_max, 0.0)
         best_edp = None
-        for candidate in self.spec.frequencies():
+        for candidate in self._candidates:
             if predictions is not None:
                 predicted = predictions[candidate]
             else:
-                predicted = self.predictor.predict_epochs(epochs, base, candidate)
+                predicted = self._predict_scalar(epochs, base, candidate)
             slowdown = predicted / predicted_at_max - 1.0
             if slowdown > bound:
                 continue
@@ -280,3 +313,113 @@ class EnergyManager(EnergyManagerSession):
     ) -> Optional[float]:
         """Governor hook: return the next quantum's frequency (or None)."""
         return self.step(record, interval_epochs(record, trace))
+
+
+class ClusterManager:
+    """Per-cluster energy management: one decision session per domain.
+
+    Each cluster of a :class:`~repro.arch.clusters.ClusterTopology` gets
+    its own :class:`EnergyManagerSession` configured with the cluster's
+    *node-trimmed* candidate ladder (its tech node's Vth floor removes
+    unreachable low set points) and its uncore scale (reference uncore
+    over the cluster's uncore clock). Every quantum, each session sees
+    the interval's epochs and chooses within its own domain.
+
+    Instances are simulator governors. A single-domain topology — one
+    cluster spanning the machine's full ladder at 22 nm ITRS and the
+    reference uncore — delegates to a plain chip-wide session and
+    returns scalar frequencies, reproducing the legacy
+    :class:`EnergyManager` byte-for-byte (the pinned differential
+    configuration). Heterogeneous topologies return per-core frequency
+    dicts, driving the simulator's per-core DVFS path
+    (``per_core_dvfs=True``).
+    """
+
+    def __init__(
+        self,
+        topology: "ClusterTopology",
+        config: Optional[ManagerConfig] = None,
+        predictor: Optional[DepPredictor] = None,
+        sweep: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.spec = topology.spec
+        self.config = config or ManagerConfig()
+        self._legacy: Optional[EnergyManagerSession] = None
+        self._sessions: Dict[str, EnergyManagerSession] = {}
+        self._current: Dict[str, float] = {}
+        if topology.is_single_domain and self._is_reference(
+            topology.clusters[0]
+        ):
+            # The pinned legacy configuration: one session, default
+            # candidates, scale 1.0 — the byte-identical twin.
+            self._legacy = EnergyManagerSession(
+                self.spec, self.config, predictor, sweep=sweep
+            )
+            return
+        for cluster in topology.clusters:
+            candidates = cluster.supported_frequencies()
+            self._sessions[cluster.name] = EnergyManagerSession(
+                self.spec,
+                self.config,
+                predictor,
+                sweep=sweep,
+                candidates=candidates,
+                uncore_scale=cluster.uncore_scale(self.spec),
+            )
+            self._current[cluster.name] = max(candidates)
+
+    def _is_reference(self, cluster) -> bool:
+        """True when the cluster adds nothing over the legacy machine."""
+        from repro.energy.vftable import get_tech_node
+
+        node = get_tech_node(cluster.node_nm, cluster.node_scaling)
+        return (
+            node.vdd_scale == 1.0
+            and cluster.uncore_freq_ghz == self.spec.uncore_freq_ghz
+            and cluster.supported_frequencies() == self.spec.frequencies()
+        )
+
+    @property
+    def decisions(self) -> List[ManagerDecision]:
+        """All sessions' decision logs, interleaved by interval index."""
+        if self._legacy is not None:
+            return self._legacy.decisions
+        merged: List[ManagerDecision] = []
+        for name in sorted(self._sessions):
+            merged.extend(self._sessions[name].decisions)
+        merged.sort(key=lambda d: d.interval_index)
+        return merged
+
+    @property
+    def cluster_decisions(self) -> Dict[str, List[ManagerDecision]]:
+        """Decision log per cluster name."""
+        if self._legacy is not None:
+            return {self.topology.clusters[0].name: self._legacy.decisions}
+        return {
+            name: session.decisions
+            for name, session in self._sessions.items()
+        }
+
+    def __call__(self, record: IntervalRecord, trace: SimulationTrace):
+        """Governor hook: scalar frequency (single domain) or core dict."""
+        epochs = interval_epochs(record, trace)
+        if self._legacy is not None:
+            return self._legacy.step(record, epochs)
+        changes: Dict[int, float] = {}
+        for cluster in self.topology.clusters:
+            session = self._sessions[cluster.name]
+            # The session predicts relative to the cluster's own current
+            # set point, not the chip-wide interval frequency.
+            base = self._current[cluster.name]
+            view = (
+                record
+                if record.freq_ghz == base
+                else replace(record, freq_ghz=base)
+            )
+            chosen = session.step(view, epochs)
+            if chosen is not None and chosen != base:
+                self._current[cluster.name] = chosen
+                for core in cluster.cores:
+                    changes[core] = chosen
+        return changes or None

@@ -21,12 +21,12 @@ and the static/uncore floor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.common.errors import ConfigError
 from repro.arch.counters import CounterSet
 from repro.arch.specs import MachineSpec
-from repro.energy.vftable import VfTable
+from repro.energy.vftable import TechNode, VfTable
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,30 @@ class PowerModelConfig:
                 raise ConfigError(f"{name} must be positive")
         if not 0.0 <= self.idle_activity <= 1.0:
             raise ConfigError("idle_activity must be in [0, 1]")
+
+
+def node_power_config(
+    node: TechNode, base: PowerModelConfig = PowerModelConfig()
+) -> PowerModelConfig:
+    """Power coefficients scaled to a technology node.
+
+    The model computes ``V²`` explicitly from the node's own voltage
+    table, so the Lumos-style full-chip power factor is split: dynamic
+    switching capacitance takes ``power_scale / vdd_scale²`` (what is
+    left of the node's power scaling once its voltage drop is accounted
+    for), leakage-per-volt takes ``power_scale / vdd_scale``, and the
+    fixed uncore term takes the full factor. DRAM terms are off-chip and
+    do not scale with the logic node.
+    """
+    dynamic = node.power_scale / (node.vdd_scale * node.vdd_scale)
+    return replace(
+        base,
+        core_ceff_w_per_v2_ghz=base.core_ceff_w_per_v2_ghz * dynamic,
+        leakage_w_per_core_per_v=(
+            base.leakage_w_per_core_per_v * node.power_scale / node.vdd_scale
+        ),
+        uncore_w=base.uncore_w * node.power_scale,
+    )
 
 
 class PowerModel:

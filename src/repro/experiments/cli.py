@@ -33,6 +33,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fleet_study,
+    hetero,
     sensitivity,
     sequential,
     serve_replay,
@@ -55,6 +56,7 @@ _EXPERIMENTS = {
     "fig4": fig4,
     "fig6": fig6,
     "fig7": fig7,
+    "hetero": hetero,
     "serve": serve_replay,
     "fleet": fleet_study,
 }
@@ -62,7 +64,7 @@ _EXPERIMENTS = {
 #: Order that maximizes ground-truth cache reuse.
 _DEFAULT_ORDER = (
     "table2", "table1", "sequential", "fig1", "fig3", "sensitivity",
-    "fig4", "fig6", "fig7", "serve", "fleet",
+    "fig4", "fig6", "fig7", "hetero", "serve", "fleet",
 )
 
 

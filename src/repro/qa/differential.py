@@ -264,6 +264,154 @@ def _batch_single_identity(context: CaseContext) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# Heterogeneous hardware: single-domain identity + V/f physicality
+# ----------------------------------------------------------------------
+
+
+@register(
+    "hetero-single-domain-identity",
+    "a single-cluster topology with the legacy V/f table reproduces the "
+    "chip-wide manager byte for byte, (f, 1.0) target tuples are "
+    "bit-identical to plain frequency targets, and heterogeneous sweeps "
+    "match the scalar uncore path for every predictor",
+)
+def _hetero_single_domain_identity(context: CaseContext) -> List[str]:
+    from repro.arch.clusters import homogeneous
+    from repro.core.sweep import EpochArrays, sweep_predict_epochs
+    from repro.energy.manager import ClusterManager
+    from repro.sim.run import simulate_managed
+
+    case = context.case
+    violations: List[str] = []
+
+    # Governor identity: the homogeneous one-cluster topology is the
+    # legacy machine and must leave no trace of the hetero layer.
+    manager = ClusterManager(homogeneous(context.spec), case.manager)
+    result = simulate_managed(
+        context.program,
+        manager,
+        spec=context.spec,
+        quantum_ns=case.quantum_ns,
+        engine="fast",
+    )
+    legacy_trace, legacy_decisions = context.managed("fast")
+    if _trace_bytes(result.trace) != _trace_bytes(legacy_trace):
+        violations.append(
+            "single-domain managed trace differs from the chip-wide "
+            "manager's"
+        )
+    if _decision_bytes(manager.decisions) != _decision_bytes(legacy_decisions):
+        violations.append(
+            f"single-domain decisions ({len(manager.decisions)}) differ "
+            f"from the chip-wide log ({len(legacy_decisions)})"
+        )
+
+    # Target-tuple identity and hetero sweep-vs-scalar parity.
+    epochs = context.epochs()
+    arrays = EpochArrays.from_epochs(epochs)
+    base = case.base_freq_ghz
+    targets = context.target_ladder()
+    uncore = case.uncore_scale
+    for name in predictor_names():
+        predictor = make_predictor(name)
+        plain = sweep_predict_epochs(predictor, arrays, base, targets)
+        tupled = sweep_predict_epochs(
+            predictor, arrays, base, [(target, 1.0) for target in targets]
+        )
+        if plain != tupled:
+            violations.append(
+                f"{name}: (f, 1.0) tuples {tupled!r} != plain targets "
+                f"{plain!r}"
+            )
+        if uncore != 1.0:
+            swept = sweep_predict_epochs(
+                predictor, arrays, base,
+                [(target, uncore) for target in targets],
+            )
+            scalar = [
+                predictor.predict_epochs(
+                    epochs, base, target, uncore_scale=uncore
+                )
+                for target in targets
+            ]
+            if swept != scalar:
+                violations.append(
+                    f"{name} at uncore {uncore}: sweep {swept!r} != scalar "
+                    f"{scalar!r}"
+                )
+    return violations
+
+
+@register(
+    "vf-table-physicality",
+    "the case's tech-node V/f table is physical: f_min <= f_max on the "
+    "machine grid, voltage strictly increasing and never below the Vth "
+    "floor, chip power strictly increasing along the ladder, and table/"
+    "cluster specs round-trip through JSON exactly",
+)
+def _vf_table_physicality(context: CaseContext) -> List[str]:
+    from repro.arch.clusters import ClusterTopology, big_little, homogeneous
+    from repro.energy.power import PowerModel, node_power_config
+    from repro.energy.vftable import NodeVfTable
+
+    case = context.case
+    spec = context.spec
+    violations: List[str] = []
+    table = NodeVfTable(spec, case.node_nm, case.node_scaling)
+    node = table.node
+    rows = table.rows()
+    label = f"{node.node_nm}nm-{node.scaling}"
+    if not rows:
+        return [f"{label}: table has no supported set points"]
+    if table.f_min_ghz > table.f_max_ghz:
+        violations.append(
+            f"{label}: f_min {table.f_min_ghz} > f_max {table.f_max_ghz}"
+        )
+    grid = set(spec.frequencies())
+    off_grid = [freq for freq, _ in rows if freq not in grid]
+    if off_grid:
+        violations.append(f"{label}: set points off the machine grid: {off_grid}")
+    previous = None
+    for freq, voltage in rows:
+        if voltage < node.v_floor - 1e-9:
+            violations.append(
+                f"{label}: {freq} GHz at {voltage:.4f} V is below the "
+                f"Vth floor {node.v_floor:.4f} V"
+            )
+        if previous is not None and voltage <= previous:
+            violations.append(
+                f"{label}: voltage not strictly increasing at {freq} GHz"
+            )
+        previous = voltage
+    model = PowerModel(spec, node_power_config(node), vf_table=table)
+    max_powers = [model.max_power_w(freq) for freq, _ in rows]
+    static_powers = [model.static_power_w(freq) for freq, _ in rows]
+    for i in range(1, len(rows)):
+        if max_powers[i] <= max_powers[i - 1]:
+            violations.append(
+                f"{label}: max power not strictly increasing at "
+                f"{rows[i][0]} GHz"
+            )
+        if static_powers[i] < static_powers[i - 1]:
+            violations.append(
+                f"{label}: static power decreasing at {rows[i][0]} GHz"
+            )
+    clone = NodeVfTable.from_dict(json.loads(json.dumps(table.to_dict())))
+    if clone.rows() != rows:
+        violations.append(f"{label}: JSON round-trip changed the table")
+    for topology in (homogeneous(spec), big_little(spec)):
+        rebuilt = ClusterTopology.from_dict(
+            json.loads(json.dumps(topology.to_dict())), spec
+        )
+        if rebuilt.clusters != topology.clusters:
+            violations.append(
+                f"cluster topology {[c.name for c in topology.clusters]} "
+                "does not round-trip through JSON"
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
 # In-process vs. served (over the NDJSON wire)
 # ----------------------------------------------------------------------
 

@@ -32,7 +32,20 @@ from repro.workloads.synthetic import (
 )
 
 #: Bump when the case schema changes; artifacts refuse other versions.
+#: The heterogeneous fields (node/uncore) are optional with homogeneous
+#: defaults, so pre-hetero artifacts still replay under version 1.
 CASE_FORMAT_VERSION = 1
+
+#: (node_nm, scaling) points the fuzzer draws V/f tables from.
+_NODE_CHOICES = (
+    (45, "itrs"),
+    (32, "itrs"),
+    (22, "itrs"),
+    (16, "itrs"),
+    (32, "cons"),
+    (22, "cons"),
+    (16, "cons"),
+)
 
 
 @dataclass(frozen=True)
@@ -49,6 +62,12 @@ class FuzzCase:
     quantum_ns: float
     #: Energy-manager configuration of the governor invariants.
     manager: ManagerConfig
+    #: Technology node of the heterogeneous invariants' V/f table.
+    node_nm: int = 45
+    #: Node scaling assumption (``"itrs"`` or ``"cons"``).
+    node_scaling: str = "itrs"
+    #: Uncore scale of the heterogeneous predictions (1.0 = homogeneous).
+    uncore_scale: float = 1.0
 
     def program(self) -> Program:
         """The deterministic program this case describes."""
@@ -107,6 +126,18 @@ def fuzz_case(seed: int, spec: MachineSpec = None) -> FuzzCase:
         slack_banking=bool(rng.random() < 0.5),
         objective="min-edp" if rng.random() < 0.25 else "min-energy",
     )
+    # Heterogeneous axes come from their own stream so adding them did
+    # not perturb a single draw above — every pre-existing case field is
+    # seed-for-seed identical to the pre-hetero fuzzer.
+    hetero_rng = rng_stream(seed, "qa", "hetero")
+    node_nm, node_scaling = _NODE_CHOICES[
+        int(hetero_rng.integers(0, len(_NODE_CHOICES)))
+    ]
+    uncore_scale = (
+        1.0
+        if hetero_rng.random() < 0.5
+        else float(hetero_rng.choice([0.5, 1.5, 2.0]))
+    )
     return FuzzCase(
         seed=seed,
         config=config,
@@ -114,6 +145,9 @@ def fuzz_case(seed: int, spec: MachineSpec = None) -> FuzzCase:
         high_freq_ghz=freqs[high_index],
         quantum_ns=float(rng.choice([1.0e5, 2.0e5, 5.0e5])),
         manager=manager,
+        node_nm=node_nm,
+        node_scaling=node_scaling,
+        uncore_scale=uncore_scale,
     )
 
 
@@ -132,6 +166,9 @@ def case_to_dict(case: FuzzCase) -> Dict[str, Any]:
         "high_freq_ghz": case.high_freq_ghz,
         "quantum_ns": case.quantum_ns,
         "manager": asdict(case.manager),
+        "node_nm": case.node_nm,
+        "node_scaling": case.node_scaling,
+        "uncore_scale": case.uncore_scale,
     }
 
 
@@ -155,6 +192,10 @@ def case_from_dict(payload: Dict[str, Any]) -> FuzzCase:
             high_freq_ghz=float(payload["high_freq_ghz"]),
             quantum_ns=float(payload["quantum_ns"]),
             manager=manager,
+            # Absent in pre-hetero artifacts: homogeneous defaults.
+            node_nm=int(payload.get("node_nm", 45)),
+            node_scaling=payload.get("node_scaling", "itrs"),
+            uncore_scale=float(payload.get("uncore_scale", 1.0)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigError(f"malformed QA case payload: {exc}") from exc

@@ -94,8 +94,15 @@ def simulate_managed(
     quantum_ns: float = 5.0e6,
     max_ns: Optional[float] = None,
     engine: str = "fast",
+    per_core_dvfs: bool = False,
 ) -> SimulationResult:
-    """Run ``program`` under a DVFS governor invoked at quantum boundaries."""
+    """Run ``program`` under a DVFS governor invoked at quantum boundaries.
+
+    ``per_core_dvfs=True`` enables per-core frequency domains so
+    cluster governors (:class:`~repro.energy.manager.ClusterManager`
+    over a heterogeneous topology) can return per-core frequency dicts;
+    chip-wide governors are unaffected by the flag's default.
+    """
     spec = spec or haswell_i7_4770k()
     system = System(
         program,
@@ -106,6 +113,7 @@ def simulate_managed(
         quantum_ns=quantum_ns,
         gc_model=gc_model,
         engine=engine,
+        per_core_dvfs=per_core_dvfs,
     )
     trace = system.run(max_ns=max_ns)
     return SimulationResult(trace=trace, spec=spec)

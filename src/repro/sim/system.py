@@ -899,9 +899,6 @@ class System:
             if cost == 0.0:
                 continue
             new_freq = self.dvfs.frequency_of(core)
-            self._emit(EventKind.FREQ_CHANGE, -1, f"core{core}@{new_freq:.3f}GHz")
-            if self.trace.intervals:
-                self.trace.intervals[-1].transition_ns += cost
             occupant = next(
                 (
                     t for t in self._threads.values()
@@ -909,9 +906,15 @@ class System:
                 ),
                 None,
             )
-            if occupant is None or occupant.tid not in self._plans_inflight:
-                continue
-            self._rescale_plan(occupant, now, cost, new_freq)
+            if occupant is not None and occupant.tid in self._plans_inflight:
+                self._rescale_plan(occupant, now, cost, new_freq)
+            # Emit after the rescale, like _change_frequency: the boundary
+            # event's snapshot must carry the re-anchored counters, or the
+            # epoch opening at this timestamp keeps the stale pre-rescale
+            # snapshot and the next epoch's deltas can go negative.
+            self._emit(EventKind.FREQ_CHANGE, -1, f"core{core}@{new_freq:.3f}GHz")
+            if self.trace.intervals:
+                self.trace.intervals[-1].transition_ns += cost
 
     def _rescale_plan(
         self, thread: SimThread, now: float, cost: float, new_freq: float

@@ -208,3 +208,87 @@ def test_arrays_are_float64(benchmark_traces):
     arrays = EpochArrays.from_trace(benchmark_traces["xalan"])
     for field in ("wall", "crit", "leading", "stall", "sqfull"):
         assert getattr(arrays, field).dtype == np.float64, field
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous targets: (core_freq, uncore_scale) tuples
+# ----------------------------------------------------------------------
+
+
+def test_split_target_shapes():
+    from repro.core.sweep import split_target, split_targets
+
+    assert split_target(2.0) == (2.0, 1.0)
+    assert split_target((2.0, 1.5)) == (2.0, 1.5)
+    assert split_target([2.0, 0.5]) == (2.0, 0.5)
+    with pytest.raises(PredictionError):
+        split_target((2.0,))
+    with pytest.raises(PredictionError):
+        split_target((2.0, 1.5, 1.0))
+    with pytest.raises(PredictionError):
+        split_target((2.0, 0.0))
+    with pytest.raises(PredictionError):
+        split_target((2.0, -1.0))
+    # All-homogeneous lists collapse to the legacy (freqs, None) gate.
+    assert split_targets([1.0, (2.0, 1.0)]) == ([1.0, 2.0], None)
+    freqs, uncore = split_targets([1.0, (2.0, 1.5)])
+    assert freqs == [1.0, 2.0]
+    assert uncore == [1.0, 1.5]
+
+
+def test_unit_uncore_tuples_bit_identical_to_floats(benchmark_traces):
+    trace = benchmark_traces["xalan"]
+    tuples = [(target, 1.0) for target in TARGETS]
+    for name in predictor_names():
+        predictor = make_predictor(name)
+        plain = TraceSweep(trace).predict(predictor, list(TARGETS))
+        tupled = TraceSweep(trace).predict(predictor, tuples)
+        assert tupled == plain, name
+
+
+@pytest.mark.parametrize("uncore_scale", (0.5, 2.0))
+def test_uncore_sweep_matches_scalar_predictors(
+    benchmark_traces, uncore_scale
+):
+    trace = benchmark_traces["sunflow"]
+    tuples = [(target, uncore_scale) for target in TARGETS]
+    for name in predictor_names():
+        predictor = make_predictor(name)
+        swept = TraceSweep(trace).predict(predictor, tuples)
+        scalar = [
+            predictor.predict_total_ns(
+                trace, target, uncore_scale=uncore_scale
+            )
+            for target in TARGETS
+        ]
+        assert swept == scalar, name
+
+
+def test_mixed_uncore_lanes_are_per_lane_identical(benchmark_traces):
+    # A single sweep mixing homogeneous and heterogeneous lanes must
+    # reproduce each lane's dedicated evaluation bit for bit (the mixed
+    # kernel multiplies the homogeneous lanes by exactly 1.0).
+    trace = benchmark_traces["xalan"]
+    mixed = [2.0, (2.0, 2.0), (3.0, 1.0), (3.0, 0.5)]
+    for name in predictor_names():
+        predictor = make_predictor(name)
+        values = TraceSweep(trace).predict(predictor, mixed)
+        solo = [
+            TraceSweep(trace).predict(predictor, [target])[0]
+            for target in mixed
+        ]
+        assert values == solo, name
+
+
+def test_epoch_sweep_accepts_tuples(benchmark_traces):
+    epochs = extract_epochs(benchmark_traces["xalan"].events)
+    arrays = EpochArrays.from_epochs(epochs)
+    predictor = make_predictor("DEP+BURST")
+    tupled = sweep_predict_epochs(
+        predictor, arrays, BASE_GHZ, [(t, 1.5) for t in TARGETS]
+    )
+    scalar = [
+        predictor.predict_epochs(epochs, BASE_GHZ, t, uncore_scale=1.5)
+        for t in TARGETS
+    ]
+    assert tupled == scalar

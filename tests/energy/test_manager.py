@@ -165,3 +165,95 @@ def test_min_edp_still_respects_bound():
 def test_unknown_objective_rejected():
     with pytest.raises(ConfigError):
         ManagerConfig(objective="min-temperature")
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous sessions and the cluster manager
+# ----------------------------------------------------------------------
+
+
+def test_session_rejects_bad_hetero_arguments():
+    from repro.energy.manager import EnergyManagerSession
+
+    spec = haswell_i7_4770k()
+    with pytest.raises(ConfigError):
+        EnergyManagerSession(spec, candidates=())
+    with pytest.raises(ConfigError):
+        EnergyManagerSession(spec, uncore_scale=0.0)
+    with pytest.raises(ConfigError):
+        EnergyManagerSession(spec, uncore_scale=-1.5)
+
+
+def test_session_candidate_ladder_bounds_decisions():
+    from repro.energy.manager import EnergyManagerSession
+
+    spec = haswell_i7_4770k()
+    session = EnergyManagerSession(spec, candidates=(1.5, 2.0, 2.5))
+    assert session._candidates == (1.5, 2.0, 2.5)
+    assert session._f_max == 2.5
+
+
+def test_cluster_manager_single_domain_delegates():
+    from repro.arch.clusters import homogeneous
+    from repro.energy.manager import ClusterManager
+
+    spec = haswell_i7_4770k()
+    manager = ClusterManager(homogeneous(spec))
+    assert manager._legacy is not None
+    result, reference = managed(memory_bound_program(), 0.10)
+    cluster_manager = ClusterManager(
+        homogeneous(spec), ManagerConfig(tolerable_slowdown=0.10)
+    )
+    cluster_result = simulate_managed(
+        memory_bound_program(), cluster_manager, spec=spec, quantum_ns=2.5e5
+    )
+    assert list(cluster_manager.decisions) == list(reference.decisions)
+    assert cluster_result.total_ns == result.total_ns
+
+
+def test_cluster_manager_big_little_runs_per_cluster_sessions():
+    from repro.arch.clusters import big_little
+    from repro.energy.manager import ClusterManager
+
+    spec = haswell_i7_4770k()
+    topology = big_little(spec)
+    manager = ClusterManager(
+        topology, ManagerConfig(tolerable_slowdown=0.10)
+    )
+    assert manager._legacy is None
+    result = simulate_managed(
+        memory_bound_program(), manager, spec=spec, quantum_ns=2.5e5,
+        per_core_dvfs=True,
+    )
+    assert result.total_ns > 0
+    assert set(manager.cluster_decisions) == {"big", "little"}
+    for cluster in topology.clusters:
+        allowed = set(cluster.supported_frequencies())
+        for decision in manager.cluster_decisions[cluster.name]:
+            if decision.chosen_freq_ghz is not None:
+                assert decision.chosen_freq_ghz in allowed
+    # The merged log interleaves both clusters, ordered by interval.
+    merged = manager.decisions
+    assert len(merged) == sum(
+        len(log) for log in manager.cluster_decisions.values()
+    )
+    indices = [decision.interval_index for decision in merged]
+    assert indices == sorted(indices)
+
+
+def test_little_cluster_never_exceeds_its_ladder():
+    from repro.arch.clusters import big_little
+    from repro.energy.manager import ClusterManager
+
+    spec = haswell_i7_4770k()
+    manager = ClusterManager(big_little(spec))
+    simulate_managed(
+        compute_bound_program(), manager, spec=spec, quantum_ns=2.5e5,
+        per_core_dvfs=True,
+    )
+    little = [
+        d.chosen_freq_ghz
+        for d in manager.cluster_decisions["little"]
+        if d.chosen_freq_ghz is not None
+    ]
+    assert little and max(little) <= 2.0

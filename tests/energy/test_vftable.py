@@ -35,3 +35,77 @@ def test_float_noise_tolerated():
 def test_invalid_range_rejected():
     with pytest.raises(ConfigError):
         VfTable(haswell_i7_4770k(), v_at_min=1.2, v_at_max=1.0)
+
+
+# ----------------------------------------------------------------------
+# Tech-node tables (Lumos-style scaling)
+# ----------------------------------------------------------------------
+
+
+def test_node_registry_covers_both_scaling_walls():
+    from repro.energy.vftable import NODE_SIZES, TECH_NODES, get_tech_node
+
+    for node_nm in NODE_SIZES:
+        for scaling in ("itrs", "cons"):
+            node = get_tech_node(node_nm, scaling)
+            assert node.key == (node_nm, scaling)
+            assert TECH_NODES[node.key] is node
+    with pytest.raises(ConfigError):
+        get_tech_node(7)
+    with pytest.raises(ConfigError):
+        get_tech_node(45, "optimistic")
+
+
+def test_baseline_node_table_is_the_legacy_curve():
+    from repro.energy.vftable import NodeVfTable, get_tech_node
+
+    spec = haswell_i7_4770k()
+    assert get_tech_node(45, "itrs").vdd_scale == 1.0
+    node_table = NodeVfTable(spec, 45, "itrs")
+    assert node_table.rows() == VfTable(spec).rows()
+    assert node_table.f_min_ghz == spec.min_freq_ghz
+    assert node_table.f_max_ghz == spec.max_freq_ghz
+
+
+def test_deep_itrs_nodes_lose_low_set_points():
+    from repro.energy.vftable import NodeVfTable
+
+    spec = haswell_i7_4770k()
+    floors = {
+        (45, "itrs"): 1.0,
+        (32, "itrs"): 1.0,
+        (22, "itrs"): 1.125,
+        (16, "itrs"): 1.625,
+        (16, "cons"): 1.0,
+    }
+    for (node_nm, scaling), floor in floors.items():
+        table = NodeVfTable(spec, node_nm, scaling)
+        assert table.f_min_ghz == floor, (node_nm, scaling)
+        assert table.f_max_ghz == spec.max_freq_ghz
+        # The surviving grid is contiguous from the floor.
+        points = table.set_points()
+        assert points[0] == floor
+        assert len(points) == round((4.0 - floor) / 0.125) + 1
+
+
+def test_node_voltages_sit_above_the_vth_floor():
+    from repro.energy.vftable import NodeVfTable, get_tech_node
+
+    spec = haswell_i7_4770k()
+    for node_nm, scaling in ((22, "itrs"), (16, "itrs"), (32, "cons")):
+        node = get_tech_node(node_nm, scaling)
+        table = NodeVfTable(spec, node_nm, scaling)
+        for _, voltage in table.rows():
+            assert voltage >= node.v_floor
+
+
+def test_node_power_config_scales_with_the_node():
+    from repro.energy.power import PowerModelConfig, node_power_config
+    from repro.energy.vftable import get_tech_node
+
+    base = PowerModelConfig()
+    baseline = node_power_config(get_tech_node(45, "itrs"), base)
+    assert baseline == base  # unit scaling: untouched coefficients
+    deep = node_power_config(get_tech_node(16, "itrs"), base)
+    assert deep.core_ceff_w_per_v2_ghz != base.core_ceff_w_per_v2_ghz
+    assert deep.dram_background_w == base.dram_background_w  # off-chip

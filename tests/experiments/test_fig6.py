@@ -1,0 +1,73 @@
+"""Figure 6: the energy manager's slowdown/saving table per threshold."""
+
+import pytest
+
+from repro.experiments import fig6
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.setup import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    scale=0.04,
+    benchmarks=("xalan", "lusearch_fix"),
+    quantum_ns=4.0e5,
+    thresholds=(0.05, 0.10),
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def results(runner):
+    return fig6.run(runner)
+
+
+def test_work_covers_baseline_and_managed_grid():
+    items = fig6.work(CONFIG)
+    expected = len(CONFIG.benchmarks)  # one 4 GHz baseline each
+    expected += len(CONFIG.benchmarks) * len(CONFIG.thresholds)
+    assert len(items) == expected
+
+
+def test_one_table_per_threshold(results):
+    assert len(results) == len(CONFIG.thresholds)
+    assert "5%" in results[0].experiment_id
+    assert "10%" in results[1].experiment_id
+
+
+def test_benchmark_rows_carry_slowdown_saving_and_mean_freq(results, runner):
+    for result in results:
+        labels = [row[0] for row in result.rows]
+        for benchmark in CONFIG.benchmarks:
+            assert benchmark in labels
+        by_label = {row[0]: row for row in result.rows}
+        for benchmark in CONFIG.benchmarks:
+            row = by_label[benchmark]
+            assert row[1] in ("M", "C")
+            assert row[2].endswith("%")
+            assert row[3].endswith("%")
+            freq = float(row[4])
+            assert 1.0 <= freq <= 4.0
+
+
+def test_memory_rollup_rows_present(results):
+    # lusearch_fix is memory-intensive, so the group mean and the paper
+    # reference row must both appear.
+    for threshold, result in zip(CONFIG.thresholds, results):
+        labels = [row[0] for row in result.rows]
+        assert "MEAN (memory)" in labels
+        assert "paper (memory)" in labels
+        paper_row = result.rows[labels.index("paper (memory)")]
+        assert paper_row[3] == f"{fig6.PAPER_SAVINGS[threshold]:.1%}"
+
+
+def test_higher_threshold_allows_no_less_saving(results):
+    # The 10% budget dominates the 5% one: the manager can only clock
+    # down further, so the memory-group mean saving is no smaller.
+    def memory_mean(result):
+        labels = [row[0] for row in result.rows]
+        return float(result.rows[labels.index("MEAN (memory)")][3].rstrip("%"))
+
+    assert memory_mean(results[1]) >= memory_mean(results[0])

@@ -1,0 +1,134 @@
+"""Property tests: V/f table physics across tech nodes (Hypothesis).
+
+The laws the heterogeneous layer rests on:
+
+* chip power is strictly increasing in frequency along any node's
+  ladder (frequency and voltage rise together), and increasing in
+  supply voltage at a fixed frequency;
+* the Vth-derived frequency floor never inverts the ladder
+  (``f_min <= f_max`` at every node, for any machine frequency range);
+* table and cluster specifications round-trip through JSON exactly.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.clusters import (
+    ClusterSpec,
+    ClusterTopology,
+    big_little,
+    homogeneous,
+)
+from repro.arch.specs import haswell_i7_4770k
+from repro.energy.power import PowerModel, node_power_config
+from repro.energy.vftable import (
+    NodeVfTable,
+    TECH_NODES,
+    VfTable,
+    get_tech_node,
+)
+
+_SPEC = haswell_i7_4770k()
+_NODES = sorted(TECH_NODES)
+
+node_keys = st.sampled_from(_NODES)
+# Sub-ranges of the machine ladder, in integer steps of 0.125 GHz.
+range_steps = st.tuples(
+    st.integers(min_value=8, max_value=16),   # min: 1.0 .. 2.0 GHz
+    st.integers(min_value=20, max_value=32),  # max: 2.5 .. 4.0 GHz
+)
+
+
+@given(key=node_keys, steps=range_steps)
+@settings(max_examples=120)
+def test_frequency_floor_never_inverts_the_ladder(key, steps):
+    node_nm, scaling = key
+    lo, hi = steps
+    table = NodeVfTable(
+        _SPEC, node_nm, scaling,
+        min_freq_ghz=lo * 0.125, max_freq_ghz=hi * 0.125,
+    )
+    assert table.f_min_ghz <= table.f_max_ghz
+    assert table.f_max_ghz == hi * 0.125  # the floor only trims the bottom
+    points = list(table.set_points())
+    assert points == sorted(points)
+    node = get_tech_node(node_nm, scaling)
+    for freq, voltage in table.rows():
+        assert voltage >= node.v_floor - 1e-12
+
+
+@given(key=node_keys, data=st.data())
+@settings(max_examples=120)
+def test_power_strictly_increases_with_frequency(key, data):
+    node = get_tech_node(*key)
+    table = NodeVfTable(_SPEC, *key)
+    model = PowerModel(_SPEC, node_power_config(node), vf_table=table)
+    points = table.set_points()
+    i = data.draw(st.integers(min_value=0, max_value=len(points) - 2))
+    j = data.draw(st.integers(min_value=i + 1, max_value=len(points) - 1))
+    assert model.max_power_w(points[i]) < model.max_power_w(points[j])
+    assert model.static_power_w(points[i]) <= model.static_power_w(points[j])
+    assert table.voltage(points[i]) < table.voltage(points[j])
+
+
+@given(
+    v_at_min=st.floats(min_value=0.5, max_value=0.9),
+    lift=st.floats(min_value=0.01, max_value=0.5),
+    step=st.integers(min_value=8, max_value=32),
+)
+@settings(max_examples=120)
+def test_power_increases_with_voltage_at_fixed_frequency(
+    v_at_min, lift, step
+):
+    freq = step * 0.125
+    low = VfTable(_SPEC, v_at_min=v_at_min, v_at_max=v_at_min + 0.375)
+    high = VfTable(
+        _SPEC, v_at_min=v_at_min + lift, v_at_max=v_at_min + lift + 0.375
+    )
+    for config in (node_power_config(get_tech_node(45)),):
+        assert PowerModel(_SPEC, config, vf_table=high).max_power_w(
+            freq
+        ) > PowerModel(_SPEC, config, vf_table=low).max_power_w(freq)
+
+
+@given(key=node_keys, steps=range_steps)
+@settings(max_examples=80)
+def test_node_table_round_trips_through_json(key, steps):
+    lo, hi = steps
+    table = NodeVfTable(
+        _SPEC, *key, min_freq_ghz=lo * 0.125, max_freq_ghz=hi * 0.125
+    )
+    clone = NodeVfTable.from_dict(json.loads(json.dumps(table.to_dict())))
+    assert clone.rows() == table.rows()
+    assert clone.f_min_ghz == table.f_min_ghz
+    assert clone.node == table.node
+
+
+@given(
+    key=node_keys,
+    uncore=st.sampled_from([0.75, 1.5, 2.25, 3.0]),
+    hi=st.integers(min_value=20, max_value=32),
+)
+@settings(max_examples=80)
+def test_cluster_spec_round_trips_through_json(key, uncore, hi):
+    node_nm, scaling = key
+    cluster = ClusterSpec(
+        name="c0",
+        cores=tuple(range(_SPEC.n_cores)),
+        max_freq_ghz=hi * 0.125,
+        node_nm=node_nm,
+        node_scaling=scaling,
+        uncore_freq_ghz=uncore,
+    )
+    rebuilt = ClusterSpec.from_dict(json.loads(json.dumps(cluster.to_dict())))
+    assert rebuilt == cluster
+
+
+def test_cluster_topologies_round_trip_through_json():
+    for topology in (homogeneous(_SPEC), big_little(_SPEC)):
+        rebuilt = ClusterTopology.from_dict(
+            json.loads(json.dumps(topology.to_dict())), _SPEC
+        )
+        assert rebuilt.clusters == topology.clusters
+        assert rebuilt.is_single_domain == topology.is_single_domain

@@ -84,3 +84,58 @@ def test_serve_differentials_pass_against_live_harness():
         context = CaseContext(fuzz_case(1), serve_client=harness.client)
         assert get_invariant("diff-serve-predict").evaluate(context) == []
         assert get_invariant("diff-serve-governor").evaluate(context) == []
+
+
+@pytest.mark.parametrize("seed", [0, 4])
+def test_hetero_single_domain_identity_passes(seed):
+    context = CaseContext(fuzz_case(seed))
+    invariant = get_invariant("hetero-single-domain-identity")
+    assert invariant.evaluate(context) == []
+
+
+def test_hetero_identity_catches_skewed_tuple_targets(monkeypatch):
+    # A target splitter that lets a stray uncore factor leak into
+    # (f, 1.0) tuples must trip the tuple-vs-plain bit comparison.
+    from repro.core import sweep as sweep_mod
+
+    original = sweep_mod.split_target
+
+    def skewed(target):
+        freq, uncore = original(target)
+        if isinstance(target, (tuple, list)):
+            uncore *= 1.0 + 1e-9
+        return freq, uncore
+
+    monkeypatch.setattr(sweep_mod, "split_target", skewed)
+    context = CaseContext(fuzz_case(0))
+    invariant = get_invariant("hetero-single-domain-identity")
+    violations = invariant.evaluate(context)
+    assert any("tuples" in v or "sweep" in v for v in violations)
+
+
+@pytest.mark.parametrize("seed", [0, 4])
+def test_vf_table_physicality_passes(seed):
+    context = CaseContext(fuzz_case(seed))
+    invariant = get_invariant("vf-table-physicality")
+    assert invariant.evaluate(context) == []
+
+
+def test_vf_table_physicality_catches_inverted_voltages(monkeypatch):
+    # A table whose voltages fall with frequency (rows reversed on the
+    # voltage axis) must trip the monotonicity check.
+    from repro.energy import vftable
+
+    original = vftable.NodeVfTable.rows
+
+    def inverted(self):
+        rows = original(self)
+        voltages = [voltage for _, voltage in rows]
+        return [
+            (freq, voltage)
+            for (freq, _), voltage in zip(rows, reversed(voltages))
+        ]
+
+    monkeypatch.setattr(vftable.NodeVfTable, "rows", inverted)
+    context = CaseContext(fuzz_case(0))
+    violations = get_invariant("vf-table-physicality").evaluate(context)
+    assert any("increasing" in v for v in violations)

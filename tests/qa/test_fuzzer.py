@@ -84,3 +84,52 @@ def test_rejects_malformed_payload():
     payload["config"]["no_such_knob"] = 1
     with pytest.raises(ConfigError):
         case_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Heterogeneous axes (node / uncore)
+# ----------------------------------------------------------------------
+
+
+def test_hetero_axes_are_deterministic_and_varied():
+    from repro.qa.fuzzer import _NODE_CHOICES
+
+    cases = [fuzz_case(seed) for seed in range(40)]
+    for case in cases:
+        assert (case.node_nm, case.node_scaling) in _NODE_CHOICES
+        assert case.uncore_scale in (0.5, 1.0, 1.5, 2.0)
+    # Both the homogeneous point and genuinely heterogeneous draws must
+    # appear, and the node axis must actually vary.
+    assert any(case.uncore_scale == 1.0 for case in cases)
+    assert any(case.uncore_scale != 1.0 for case in cases)
+    assert len({(case.node_nm, case.node_scaling) for case in cases}) > 2
+    assert cases == [fuzz_case(seed) for seed in range(40)]
+
+
+def test_hetero_axes_use_their_own_stream():
+    # The hetero fields draw from rng_stream(seed, "qa", "hetero"), not
+    # the "case" stream, so every pre-existing field is seed-for-seed
+    # what the pre-hetero fuzzer produced. Goldens computed by running
+    # the pre-hetero fuzzer on the same seeds.
+    goldens = {
+        0: (2.25, 3.75, 2.0e5, 0.1387410545431636, 634628762),
+        5: (1.625, 3.125, 1.0e5, 0.17102720789528245, 91052707),
+        11: (1.75, 3.75, 5.0e5, 0.0205784172053483, 684284245),
+    }
+    for seed, (base, high, quantum, slowdown, config_seed) in goldens.items():
+        case = fuzz_case(seed)
+        assert case.base_freq_ghz == base
+        assert case.high_freq_ghz == high
+        assert case.quantum_ns == quantum
+        assert case.manager.tolerable_slowdown == slowdown
+        assert case.config.seed == config_seed
+
+
+def test_pre_hetero_payloads_default_to_homogeneous():
+    payload = case_to_dict(fuzz_case(2))
+    for key in ("node_nm", "node_scaling", "uncore_scale"):
+        del payload[key]
+    case = case_from_dict(json.loads(json.dumps(payload)))
+    assert case.node_nm == 45
+    assert case.node_scaling == "itrs"
+    assert case.uncore_scale == 1.0

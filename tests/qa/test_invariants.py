@@ -30,6 +30,8 @@ DIFFERENTIAL = [
     "diff-engine-governor",
     "diff-predict-vectorized",
     "batch-single-identity",
+    "hetero-single-domain-identity",
+    "vf-table-physicality",
     "diff-serve-predict",
     "diff-serve-governor",
 ]
