@@ -177,6 +177,16 @@ class MemoryLRU:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def drop(self, key: str) -> None:
+        """Forget one entry if present (used to evict rejected values)."""
+        self._entries.pop(key, None)
+
+    def clear(self) -> int:
+        """Drop every entry; return how many were held."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
 
 class FileStore:
     """Shared directory of ``{"key", "value"}`` envelope files.
@@ -205,6 +215,13 @@ class FileStore:
             return None
         except OSError:
             self.stats.misses += 1
+            return None
+        except UnicodeDecodeError:
+            # Bit damage bad enough to break the text encoding: same
+            # treatment as a corrupt envelope below.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            unlink_quiet(path)
             return None
         try:
             envelope = json.loads(raw)
@@ -237,6 +254,24 @@ class FileStore:
             if p.name.startswith(f"{self.prefix}-") and p.suffix == ".json"
         )
 
+    def drop(self, key: str) -> None:
+        """Remove one entry if present (used to evict rejected values)."""
+        unlink_quiet(self.path_for(key))
+
+    def clear(self) -> int:
+        """Remove every entry of this prefix; return files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.iterdir()):
+                if (
+                    path.is_file()
+                    and path.name.startswith(f"{self.prefix}-")
+                    and path.suffix == ".json"
+                ):
+                    unlink_quiet(path)
+                    removed += 1
+        return removed
+
 
 class TieredStore:
     """Read-through/write-through stack of backends (fastest first)."""
@@ -266,3 +301,11 @@ class TieredStore:
 
     def tier_stats(self) -> List[Dict[str, int]]:
         return [tier.stats.as_dict() for tier in self.tiers]
+
+    def clear(self) -> int:
+        """Clear every tier; return the entry count the *last* (most
+        durable) tier reported dropping."""
+        dropped = 0
+        for tier in self.tiers:
+            dropped = tier.clear()
+        return dropped

@@ -2,9 +2,30 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import os
+from typing import Iterable, Optional, Sequence
 
 from repro.common.errors import ConfigError
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit value, else ``REPRO_JOBS``, else 1.
+
+    Shared by every ``--jobs`` CLI surface (``repro-experiments``,
+    ``repro-fleet``, the grid drivers) so one environment variable
+    widens them all consistently.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1")
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from exc
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 def require(condition: bool, message: str) -> None:

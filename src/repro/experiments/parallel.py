@@ -24,7 +24,6 @@ serially in the parent, so parallelism is purely an optimization.
 
 from __future__ import annotations
 
-import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -32,7 +31,8 @@ from functools import partial
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
-from repro.experiments.cache import ResultCache
+from repro.common.validation import resolve_jobs  # noqa: F401 — historical
+from repro.experiments.cache import ResultCache   # home of this module's API
 from repro.experiments.runner import ExperimentRunner
 from repro.experiments.setup import ExperimentConfig
 
@@ -73,19 +73,6 @@ def managed_items(
         for bench in benchmarks
         for threshold in thresholds
     )
-
-
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Effective worker count: explicit value, else ``REPRO_JOBS``, else 1."""
-    if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "1")
-        try:
-            jobs = int(raw)
-        except ValueError as exc:
-            raise ConfigError(f"REPRO_JOBS must be an integer, got {raw!r}") from exc
-    if jobs < 1:
-        raise ConfigError(f"jobs must be >= 1, got {jobs}")
-    return jobs
 
 
 @dataclass

@@ -23,12 +23,28 @@ from one seed; same-seed runs emit byte-identical reports
 (:mod:`repro.fleet.report`), and :mod:`repro.fleet.serve_mode` can
 drive every governor decision stream through a real multi-worker
 ``repro.serve`` pool to validate the wire path at fleet scale.
+
+Profile building scales out and persists: :mod:`repro.fleet.parallel`
+shards distinct tenant shapes across a spawn-context process pool,
+:mod:`repro.fleet.profile_cache` gives every simulated trace a
+content-addressed on-disk home so repeat runs skip simulation, and
+:mod:`repro.fleet.grid` fans a policy × power-cap study out over the
+shared warm store. All three leave the report bytes untouched — the
+``fleet-parallel-identity`` qa invariant holds serial, multiprocess and
+store-rehydrated runs byte-identical.
 """
 
 from repro.fleet.arrivals import ArrivalConfig, generate_arrivals
 from repro.fleet.corpus import builtin_templates, draw_tenants, load_corpus_dir
 from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.grid import GridConfig, grid_bytes, render_grid, run_grid
+from repro.fleet.parallel import build_traces_parallel, partition_shapes
 from repro.fleet.policy import get_policy, policy_names, prediction_driven_names
+from repro.fleet.profile_cache import (
+    ProfileCache,
+    default_profile_cache_dir,
+    profile_cache_key,
+)
 from repro.fleet.profiles import ProfileStore, TenantProfile
 from repro.fleet.report import FleetReport, render_report, report_identity_bytes
 from repro.fleet.tenants import (
@@ -43,20 +59,29 @@ __all__ = [
     "ArrivalConfig",
     "FleetConfig",
     "FleetReport",
+    "GridConfig",
+    "ProfileCache",
     "ProfileStore",
     "TENANT_FORMAT_VERSION",
     "TenantProfile",
     "TenantSpec",
     "builtin_templates",
+    "build_traces_parallel",
+    "default_profile_cache_dir",
     "draw_tenants",
     "generate_arrivals",
     "get_policy",
+    "grid_bytes",
     "load_corpus_dir",
+    "partition_shapes",
     "policy_names",
     "prediction_driven_names",
+    "profile_cache_key",
+    "render_grid",
     "render_report",
     "report_identity_bytes",
     "run_fleet",
+    "run_grid",
     "tenant_from_fuzz_case",
     "tenant_spec_from_dict",
     "tenant_spec_to_dict",

@@ -1,32 +1,48 @@
-"""Fleet stepping benchmark: batched vs. unbatched profile builds.
+"""Fleet build benchmark: naive vs batched vs multiprocess vs warm store.
 
-The fleet's hot path is *profile stepping* — running the simulations
-behind every tenant the drawn population needs. Batched mode first
-deduplicates tenants into their distinct (workload, base frequency,
-quantum) shapes, then routes those through :mod:`repro.sim.batch`, so
-a family's profiles share one program object and one
-:class:`~repro.sim.batch.SharedTimingStore` prewarmed across the
-family's base frequencies in a single ``time_batch_multi`` columnar
-pass. Unbatched mode is the naive fleet: every tenant simulated
-independently, fresh program, no sharing — what stepping the
-population costs without the batch tier.
+The fleet's hot path is *profile building* — running the simulations
+behind every tenant the drawn population needs. This benchmark times
+the same drawn fleet through every build strategy the engine offers,
+coldest to warmest:
 
-:func:`fleet_bench` times both builds over the same drawn fleet
-(``--reps`` times, reporting min/median/mean through
-:func:`repro.sim.bench.wall_stats`), then runs the full engine once on
-each store and asserts the two reports are byte-identical on the
-determinism view — the speedup must be pure mechanics. The gated
-metric is ``speedup`` (median unbatched / median batched build).
+``naive``
+    every tenant simulated independently, fresh program, no sharing —
+    what the population costs without any of the machinery;
+``serial``
+    tenants deduplicated into distinct shapes and batched through
+    :mod:`repro.sim.batch` (one shared timing store per workload
+    family), in-process;
+``parallel``
+    the same shapes sharded over a spawn-context worker pool
+    (:mod:`repro.fleet.parallel`) publishing into a fresh
+    :class:`~repro.fleet.profile_cache.ProfileCache`;
+``warm``
+    a second run against the store the parallel build just filled —
+    no simulation at all, profiles rehydrate from disk.
+
+Each phase is timed ``reps`` times (min/median/mean via
+:func:`repro.sim.bench.wall_stats`, as is the engine phase), every
+store then drives one full engine run, and all reports must be
+byte-identical on the determinism view — the run aborts otherwise, so
+every speedup is pure mechanics. The gated metrics:
+
+* ``cold_speedup`` — median naive / median parallel build (the
+  ``--jobs``-wide cold build; CI floors this at 3x);
+* ``warm_speedup`` — median serial cold build / median warm build
+  (what the persistent store saves a repeat run; CI floors this at
+  5x — warm runs drop to engine-only cost).
 """
 
 from __future__ import annotations
 
+import tempfile
 import time
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.errors import ReproError
 from repro.fleet.corpus import builtin_templates, draw_tenants
 from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.profile_cache import ProfileCache
 from repro.fleet.profiles import ProfileStore
 from repro.fleet.report import report_identity_bytes
 from repro.sim.bench import wall_stats
@@ -36,55 +52,101 @@ _BENCH_POLICY = "paper-governor"
 
 
 def fleet_bench(
-    tenants: int = 192, seed: int = 7, reps: int = 3
+    tenants: int = 512,
+    seed: int = 7,
+    reps: int = 1,
+    jobs: int = 4,
+    cache_root: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Time batched vs. unbatched fleet stepping; verify identity."""
+    """Time every fleet build strategy; verify byte-identity throughout."""
     if reps < 1:
         raise ReproError("reps must be >= 1")
+    if jobs < 1:
+        raise ReproError("jobs must be >= 1")
     specs = draw_tenants(builtin_templates(), tenants, seed)
-    batched_walls: List[float] = []
-    unbatched_walls: List[float] = []
-    batched_store = None
-    unbatched_store = None
-    diagnostics: Dict[str, int] = {}
-    for _ in range(reps):
-        batched_store = ProfileStore()
-        begin = time.perf_counter()
-        diagnostics = batched_store.build(specs, batch=True)
-        batched_walls.append(time.perf_counter() - begin)
-
-        unbatched_store = ProfileStore()
-        begin = time.perf_counter()
-        unbatched_store.build(specs, batch=False)
-        unbatched_walls.append(time.perf_counter() - begin)
-
     config = FleetConfig(tenants=tenants, seed=seed, policy=_BENCH_POLICY)
-    begin = time.perf_counter()
-    batched_report = run_fleet(config, store=batched_store)
-    engine_wall = time.perf_counter() - begin
-    unbatched_report = run_fleet(config, store=unbatched_store)
-    if report_identity_bytes(batched_report) != report_identity_bytes(
-        unbatched_report
-    ):
-        raise ReproError(
-            "batched and unbatched fleet runs diverged: the reports are "
-            "not byte-identical on the determinism view"
-        )
 
-    batched = wall_stats(batched_walls)
-    unbatched = wall_stats(unbatched_walls)
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as tmp:
+        root = cache_root or tmp
+
+        naive_walls: List[float] = []
+        serial_walls: List[float] = []
+        parallel_walls: List[float] = []
+        warm_walls: List[float] = []
+        diagnostics: Dict[str, int] = {}
+        naive_store = serial_store = parallel_store = warm_store = None
+        for _ in range(reps):
+            naive_store = ProfileStore()
+            begin = time.perf_counter()
+            naive_store.build(specs, batch=False)
+            naive_walls.append(time.perf_counter() - begin)
+
+            serial_store = ProfileStore()
+            begin = time.perf_counter()
+            diagnostics = serial_store.build(specs)
+            serial_walls.append(time.perf_counter() - begin)
+
+            # A fresh cache directory per rep keeps the parallel phase
+            # cold; the last rep's directory feeds the warm phase.
+            cache = ProfileCache(ProfileCache(root).root / f"rep-{_}")
+            parallel_store = ProfileStore(cache=cache)
+            begin = time.perf_counter()
+            parallel_store.build(specs, jobs=jobs)
+            parallel_walls.append(time.perf_counter() - begin)
+
+            warm_store = ProfileStore(cache=ProfileCache(cache.root))
+            begin = time.perf_counter()
+            warm = warm_store.build(specs)
+            warm_walls.append(time.perf_counter() - begin)
+            if warm["cache_hits"] != diagnostics["profiles_total"]:
+                raise ReproError(
+                    f"warm build hit {warm['cache_hits']} of "
+                    f"{diagnostics['profiles_total']} profiles in the store"
+                )
+
+        engine_walls: List[float] = []
+        reports = []
+        for store in (naive_store, serial_store, parallel_store, warm_store):
+            begin = time.perf_counter()
+            reports.append(run_fleet(config, store=store))
+            engine_walls.append(time.perf_counter() - begin)
+        views = {report_identity_bytes(report) for report in reports}
+        if len(views) != 1:
+            raise ReproError(
+                "naive/serial/parallel/warm fleet runs diverged: the "
+                "reports are not byte-identical on the determinism view"
+            )
+        cache_disk = warm_store.cache.disk_stats()
+
+    naive = wall_stats(naive_walls)
+    serial = wall_stats(serial_walls)
+    parallel = wall_stats(parallel_walls)
+    warm = wall_stats(warm_walls)
+    engine = wall_stats(engine_walls)
+    cold_run_s = serial["median"] + engine_walls[1]
+    warm_run_s = warm["median"] + engine_walls[3]
     return {
         "tenants": tenants,
         "seed": seed,
         "reps": reps,
+        "jobs": jobs,
         "profiles": diagnostics.get("profiles_total", 0),
         "groups": diagnostics.get("groups", 0),
         "prewarmed_freqs": diagnostics.get("prewarmed_freqs", 0),
-        "batched_build_s": batched,
-        "unbatched_build_s": unbatched,
-        "speedup": unbatched["median"] / batched["median"],
-        "engine_wall_s": engine_wall,
-        "tenants_per_s": tenants / (batched["median"] + engine_wall),
+        "naive_build_s": naive,
+        "serial_build_s": serial,
+        "parallel_build_s": parallel,
+        "warm_build_s": warm,
+        "engine_s": engine,
+        "cold_speedup": naive["median"] / parallel["median"],
+        "warm_speedup": serial["median"] / warm["median"],
+        "parallel_vs_serial": serial["median"] / parallel["median"],
+        "batched_speedup": naive["median"] / serial["median"],
+        "cold_run_s": cold_run_s,
+        "warm_run_s": warm_run_s,
+        "tenants_per_s": tenants / cold_run_s,
+        "cache_entries": cache_disk["entries"],
+        "cache_size_bytes": cache_disk["size_bytes"],
         "identical": True,
         "policy": _BENCH_POLICY,
     }

@@ -1,0 +1,254 @@
+"""Policy × power-cap grids: the fleet-scale figure, fanned out.
+
+One grid cell is one :func:`~repro.fleet.engine.run_fleet` call — a
+policy and a power cap over the *same* drawn fleet — and the figure the
+ROADMAP asks for ("energy/slowdown at datacenter scale") is the whole
+grid. Cells share everything expensive:
+
+* the parent builds (or warm-loads) the profile store **once**, through
+  a shared :class:`~repro.fleet.profile_cache.ProfileCache`, optionally
+  with a multiprocess build (:mod:`repro.fleet.parallel`);
+* with ``jobs > 1`` the cells then fan out over a spawn-context worker
+  pool; each worker rehydrates its profiles from the warm cache (no
+  simulation) and only a small aggregate dict rides the pipe home;
+* a cell is a pure function of its configuration, so the grid payload
+  is byte-identical at any ``jobs`` width — the CI smoke ``cmp``-s a
+  serial and a parallel run of the figure writer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.specs import MachineSpec, haswell_i7_4770k
+from repro.common.errors import ConfigError
+from repro.fleet.engine import FleetConfig, run_fleet
+from repro.fleet.policy import policy_names
+from repro.fleet.profile_cache import ProfileCache
+from repro.fleet.profiles import ProfileStore
+
+#: Schema version of the grid figure payload.
+GRID_FORMAT_VERSION = 1
+
+#: The ``kind`` field of a grid figure payload.
+GRID_KIND = "repro-fleet-grid"
+
+#: Default power caps (W) of the figure — from starved to unconstrained.
+DEFAULT_CAPS_W = (150.0, 250.0, 400.0, 600.0)
+
+#: Aggregate fields each cell carries into the figure payload.
+_CELL_FIELDS = (
+    "energy_j",
+    "energy_saving_vs_max",
+    "mean_slowdown",
+    "p99_slowdown",
+    "sla_miss_rate",
+    "mean_queue_wait_ms",
+    "peak_power_w",
+    "cap_violations",
+)
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """One policy × cap grid over one drawn fleet."""
+
+    tenants: int = 256
+    seed: int = 42
+    policies: Tuple[str, ...] = ()
+    caps_w: Tuple[float, ...] = DEFAULT_CAPS_W
+    rate_per_s: float = 4000.0
+    corpus_dirs: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.caps_w:
+            raise ConfigError("grid needs at least one power cap")
+        if any(cap <= 0 for cap in self.caps_w):
+            raise ConfigError("power caps must be positive")
+
+    def effective_policies(self) -> Tuple[str, ...]:
+        return self.policies or tuple(policy_names())
+
+    def cells(self) -> List[Tuple[str, float]]:
+        """Deterministic cell order: policy-major, ascending caps."""
+        return [
+            (policy, cap)
+            for policy in self.effective_policies()
+            for cap in sorted(self.caps_w)
+        ]
+
+    def fleet_config(self, policy: str, cap_w: float) -> FleetConfig:
+        from repro.fleet.arrivals import ArrivalConfig
+
+        return FleetConfig(
+            tenants=self.tenants,
+            seed=self.seed,
+            policy=policy,
+            power_cap_w=cap_w,
+            arrivals=ArrivalConfig(rate_per_s=self.rate_per_s),
+            corpus_dirs=self.corpus_dirs,
+        )
+
+
+def _run_cell(
+    config: GridConfig,
+    policy: str,
+    cap_w: float,
+    spec: MachineSpec,
+    store: ProfileStore,
+) -> Dict[str, object]:
+    report = run_fleet(config.fleet_config(policy, cap_w), spec=spec, store=store)
+    cell: Dict[str, object] = {"policy": policy, "power_cap_w": cap_w}
+    for name in _CELL_FIELDS:
+        cell[name] = report.aggregate[name]
+    cell["oracle_energy_j"] = report.oracle["energy_j"]
+    return cell
+
+
+# One (config, spec, store) per grid worker; the store rehydrates its
+# profiles from the cache the parent warmed — workers never simulate.
+_GRID_WORKER: Optional[Tuple[GridConfig, MachineSpec, ProfileStore]] = None
+
+
+def _init_grid_worker(
+    config: GridConfig, spec: MachineSpec, cache_root: str
+) -> None:
+    global _GRID_WORKER
+    store = ProfileStore(spec, cache=ProfileCache(cache_root))
+    _GRID_WORKER = (config, spec, store)
+
+
+def _grid_cell(cell: Tuple[str, float]) -> Tuple[Tuple[str, float], Optional[Dict[str, object]]]:
+    assert _GRID_WORKER is not None, "worker used before initialization"
+    config, spec, store = _GRID_WORKER
+    policy, cap_w = cell
+    try:
+        return cell, _run_cell(config, policy, cap_w, spec, store)
+    except Exception:  # contained: the parent recomputes
+        return cell, None
+
+
+def run_grid(
+    config: GridConfig,
+    jobs: int = 1,
+    cache: Optional[ProfileCache] = None,
+    spec: Optional[MachineSpec] = None,
+) -> Dict[str, object]:
+    """Evaluate the whole grid; the figure payload.
+
+    The profile store is built once up front — through ``cache`` when
+    given (so repeat grids and ``repro-fleet`` runs share the work),
+    ephemeral otherwise — and with ``jobs > 1`` both the build and the
+    cells fan out over that many worker processes. Output is identical
+    at any width; cell failures in workers are recomputed in-parent.
+    """
+    from repro.fleet.corpus import builtin_templates, draw_tenants, load_corpus_dir
+
+    spec = spec or haswell_i7_4770k()
+    jobs = max(1, int(jobs))
+    templates = builtin_templates()
+    for directory in config.corpus_dirs:
+        templates.extend(load_corpus_dir(directory))
+    tenants = draw_tenants(templates, config.tenants, config.seed)
+
+    ephemeral = cache is None and jobs > 1
+    if ephemeral:
+        cache = ProfileCache(tempfile.mkdtemp(prefix="repro-fleet-grid-"))
+    store = ProfileStore(spec, cache=cache)
+    build = store.build(tenants, jobs=jobs)
+
+    cells = config.cells()
+    results: Dict[Tuple[str, float], Optional[Dict[str, object]]] = {}
+    if jobs > 1 and len(cells) > 1:
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)),
+            mp_context=context,
+            initializer=_init_grid_worker,
+            initargs=(config, spec, str(cache.root)),
+        ) as pool:
+            for cell, result in pool.map(_grid_cell, cells, chunksize=1):
+                results[cell] = result
+    recovered = 0
+    rows: List[Dict[str, object]] = []
+    for policy, cap_w in cells:
+        row = results.get((policy, cap_w))
+        if row is None:
+            if (policy, cap_w) in results:
+                recovered += 1
+            row = _run_cell(config, policy, cap_w, spec, store)
+        rows.append(row)
+
+    return {
+        "kind": GRID_KIND,
+        "format_version": GRID_FORMAT_VERSION,
+        "config": {
+            "tenants": config.tenants,
+            "seed": config.seed,
+            "policies": list(config.effective_policies()),
+            "caps_w": sorted(config.caps_w),
+            "rate_per_s": config.rate_per_s,
+            "corpus_dirs": list(config.corpus_dirs),
+        },
+        "cells": rows,
+        "diagnostics": {
+            "profiles": build["profiles_total"],
+            "cache_hits": build["cache_hits"],
+            "jobs": jobs,
+            "recovered_cells": recovered,
+        },
+    }
+
+
+def grid_bytes(payload: Dict[str, object]) -> bytes:
+    """Canonical figure bytes — minus execution diagnostics, so serial
+    and parallel grid runs compare equal byte-for-byte."""
+    import json
+
+    view = {
+        key: value for key, value in payload.items() if key != "diagnostics"
+    }
+    return (
+        json.dumps(view, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def render_grid(payload: Dict[str, object]) -> str:
+    """Human-readable grid table (one row per cell)."""
+    from repro.common.tables import format_table
+
+    rows = [
+        (
+            cell["policy"],
+            f"{cell['power_cap_w']:.0f}",
+            f"{cell['energy_j']:.3f}",
+            f"{cell['energy_saving_vs_max']:.1%}",
+            f"{cell['mean_slowdown']:.3%}",
+            f"{cell['p99_slowdown']:.3%}",
+            f"{cell['sla_miss_rate']:.2%}",
+            f"{cell['peak_power_w']:.0f}",
+        )
+        for cell in payload["cells"]
+    ]
+    config = payload["config"]
+    return format_table(
+        [
+            "policy",
+            "cap W",
+            "energy (J)",
+            "vs all-max",
+            "mean slowdown",
+            "p99 slowdown",
+            "SLA miss",
+            "peak W",
+        ],
+        rows,
+        title=(
+            f"Fleet grid — {config['tenants']} tenants, seed "
+            f"{config['seed']}, {len(payload['cells'])} cells"
+        ),
+    )

@@ -1,0 +1,298 @@
+"""Multiprocess fleet profile building: shapes sharded over workers.
+
+A fleet's distinct (workload, base frequency, quantum, predictor)
+shapes are independent simulations — each is a pure function of the
+shape and machine spec — so profile building parallelizes the same way
+the experiment grid does (:mod:`repro.experiments.parallel`):
+
+* the pending shapes are partitioned into per-workload-family batches
+  (:func:`partition_shapes`) so lanes that share a program stay on one
+  worker and keep sharing a prewarmed
+  :class:`~repro.sim.batch.SharedTimingStore`; only when there are
+  fewer families than workers are the largest batches split, trading
+  one duplicated prewarm for latency;
+* each batch runs through a **spawn-context**
+  ``ProcessPoolExecutor`` (the worker discipline of
+  :mod:`repro.serve.pool` — no forked interpreter state) whose workers
+  simulate via :func:`repro.sim.batch.run_batch` and publish every
+  trace into a shared :class:`~repro.fleet.profile_cache.ProfileCache`;
+  only (key, error) pairs cross the pipe, never a trace;
+* the parent rehydrates the traces from the cache and **recomputes
+  serially anything that failed or went missing** — parallelism is
+  purely an optimization, and the serial, parallel and warm-cache
+  paths produce byte-identical fleet reports (the
+  ``fleet-parallel-identity`` QA invariant and the CI ``cmp`` smoke
+  pin this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.specs import MachineSpec
+from repro.fleet.profile_cache import ProfileCache, key_for_tenant
+from repro.fleet.tenants import TenantSpec, profile_key, workload_fingerprint
+from repro.sim.trace import SimulationTrace
+
+#: One (profile key, tenant shape) unit of the build.
+Shape = Tuple[str, TenantSpec]
+
+
+def partition_shapes(
+    shapes: Sequence[Shape], jobs: int
+) -> List[List[Shape]]:
+    """Split pending shapes into batches that preserve program sharing.
+
+    All of a workload family's shapes share one program object — and
+    through :mod:`repro.sim.batch` one timing store prewarmed across
+    the family's base frequencies — so the unit of distribution is the
+    family. Scattering a family across workers would re-prewarm its
+    segments once per worker; splitting happens only when there are
+    fewer families than workers, halving the largest batches first.
+    """
+    groups: Dict[str, List[Shape]] = {}
+    for key, tenant in shapes:
+        groups.setdefault(workload_fingerprint(tenant.workload), []).append(
+            (key, tenant)
+        )
+    batches = [groups[fp] for fp in sorted(groups)]
+    while len(batches) < min(jobs, len(shapes)):
+        batches.sort(key=lambda batch: (-len(batch), batch[0][0]))
+        largest = batches[0]
+        if len(largest) <= 1:
+            break
+        mid = (len(largest) + 1) // 2
+        batches[:1] = [largest[:mid], largest[mid:]]
+    return sorted(batches, key=lambda batch: batch[0][0])
+
+
+def simulate_shapes(shapes: Sequence[Shape], spec: MachineSpec):
+    """Simulate a batch of distinct shapes; the raw ``BatchReport``.
+
+    Shapes sharing a workload share one program object so their lanes
+    share a timing store — exactly what
+    :meth:`~repro.fleet.profiles.ProfileStore.build` does serially.
+    Results come back in shape order.
+    """
+    from repro.sim.batch import BatchInstance, run_batch
+
+    programs: Dict[str, object] = {}
+    instances = []
+    for key, tenant in shapes:
+        fingerprint = workload_fingerprint(tenant.workload)
+        program = programs.get(fingerprint)
+        if program is None:
+            program = programs[fingerprint] = tenant.program()
+        instances.append(
+            BatchInstance(
+                program=program,
+                freq_ghz=tenant.base_freq_ghz,
+                spec=spec,
+                quantum_ns=tenant.quantum_ns,
+                label=key,
+            )
+        )
+    return run_batch(instances)
+
+
+# One (spec, cache) pair per worker process, built by the pool
+# initializer so every batch the worker handles shares both.
+_WORKER: Optional[Tuple[MachineSpec, ProfileCache]] = None
+
+
+def _init_worker(spec: MachineSpec, cache_root: str) -> None:
+    global _WORKER
+    _WORKER = (spec, ProfileCache(cache_root))
+
+
+def _build_batch(shapes: Sequence[Shape]) -> Dict[str, object]:
+    """Build one batch in a worker; traces travel via the shared cache.
+
+    Only ``{key: error-or-None}`` pairs plus small batching counters
+    cross the pipe back to the parent.
+    """
+    assert _WORKER is not None, "worker used before initialization"
+    spec, cache = _WORKER
+    results: List[Tuple[str, Optional[str]]] = []
+    groups = prewarmed = 0
+    pending = list(shapes)
+    try:
+        report = simulate_shapes(pending, spec)
+    except Exception:
+        # Contained: retry the shapes one by one so a single poisoned
+        # shape cannot take its whole batch down with it.
+        report = None
+    if report is not None:
+        groups, prewarmed = report.groups, report.prewarmed_freqs
+        for (key, tenant), result in zip(pending, report.results):
+            cache.put(key_for_tenant(tenant, spec), result.trace)
+            results.append((key, None))
+        pending = []
+    for key, tenant in pending:
+        try:
+            single = simulate_shapes([(key, tenant)], spec)
+            groups += single.groups
+            cache.put(key_for_tenant(tenant, spec), single.results[0].trace)
+            results.append((key, None))
+        except Exception as exc:  # contained: the parent recomputes
+            results.append((key, f"{type(exc).__name__}: {exc}"))
+    return {"results": results, "groups": groups, "prewarmed": prewarmed}
+
+
+def build_traces_parallel(
+    shapes: Sequence[Shape],
+    spec: MachineSpec,
+    jobs: int,
+    cache: Optional[ProfileCache] = None,
+) -> Tuple[Dict[str, SimulationTrace], Dict[str, object]]:
+    """Simulate every pending shape over ``jobs`` worker processes.
+
+    Returns ``(traces by profile key, diagnostics)``. A shape whose
+    worker raised — or whose trace cannot be rehydrated from the shared
+    cache — is recomputed serially in the parent, so the result set is
+    always complete. Without a persistent ``cache`` an ephemeral one
+    (under the system temp dir) carries the traces between processes.
+    """
+    shapes = list(shapes)
+    diagnostics: Dict[str, object] = {
+        "jobs": jobs,
+        "recovered": 0,
+        "groups": 0,
+        "prewarmed_freqs": 0,
+    }
+    if not shapes:
+        return {}, diagnostics
+    if cache is None:
+        cache = ProfileCache(
+            tempfile.mkdtemp(prefix="repro-fleet-ephemeral-")
+        )
+    batches = partition_shapes(shapes, jobs)
+    failures: Dict[str, str] = {}
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(batches)),
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(spec, str(cache.root)),
+    ) as pool:
+        for outcome in pool.map(_build_batch, batches, chunksize=1):
+            diagnostics["groups"] += outcome["groups"]
+            diagnostics["prewarmed_freqs"] += outcome["prewarmed"]
+            for key, error in outcome["results"]:
+                if error is not None:
+                    failures[key] = error
+    traces: Dict[str, SimulationTrace] = {}
+    missing: List[Shape] = []
+    for key, tenant in shapes:
+        trace = None
+        if key not in failures:
+            trace = cache.get(key_for_tenant(tenant, spec))
+        if trace is None:
+            missing.append((key, tenant))
+        else:
+            traces[key] = trace
+    if missing:
+        # Serial recovery in the parent: same batched build, published
+        # to the cache so a later warm run still hits.
+        report = simulate_shapes(missing, spec)
+        for (key, tenant), result in zip(missing, report.results):
+            cache.put(key_for_tenant(tenant, spec), result.trace)
+            traces[key] = result.trace
+    diagnostics["recovered"] = len(missing)
+    return traces, diagnostics
+
+
+# ----------------------------------------------------------------------
+# The fleet-parallel-identity QA property
+# ----------------------------------------------------------------------
+
+#: Tenants in the invariant's miniature fleet.
+_FLEET_SIZE = 6
+#: Workers the multiprocess leg uses.
+_IDENTITY_JOBS = 2
+
+
+def case_parallel_identity_violations(context) -> List[str]:
+    """Serial vs multiprocess vs warm-store reports must be byte-identical.
+
+    The fuzz case is promoted to a tenant (the ``repro-qa promote``
+    adapter) at both of its frequencies, and one small overlapping
+    fleet is run three ways: profiles built serially in-process, built
+    by a 2-worker spawn pool, and rebuilt entirely from the store the
+    pool warmed. Any byte of divergence on the identity view means the
+    parallel or persistence machinery changed a result — the one thing
+    it must never do.
+    """
+    from dataclasses import replace
+
+    from repro.fleet.engine import FleetConfig, run_fleet
+    from repro.fleet.profiles import ProfileStore
+    from repro.fleet.report import report_identity_bytes
+    from repro.fleet.tenants import tenant_from_fuzz_case
+
+    case = context.case
+    base_tenant = tenant_from_fuzz_case(case, name=f"qa-{case.seed}-base")
+    high_tenant = replace(
+        base_tenant,
+        name=f"qa-{case.seed}-high",
+        base_freq_ghz=case.high_freq_ghz,
+    )
+    variants = [base_tenant, high_tenant]
+    tenants = [variants[i % 2] for i in range(_FLEET_SIZE)]
+    # The serial store reuses the QA context's existing simulations —
+    # bit-identical to simulating fresh, which the parallel leg does.
+    serial_store = ProfileStore(context.spec)
+    serial_store.build(
+        variants,
+        traces={
+            profile_key(base_tenant): context.result(
+                case.base_freq_ghz
+            ).trace,
+            profile_key(high_tenant): context.result(
+                case.high_freq_ghz
+            ).trace,
+        },
+    )
+    spacing = min(
+        serial_store.profile_for(tenant).baseline_ns for tenant in variants
+    ) / 4.0
+    arrivals_ns = [i * spacing for i in range(_FLEET_SIZE)]
+
+    def fleet(store: ProfileStore, jobs: int = 1) -> bytes:
+        report = run_fleet(
+            FleetConfig(
+                tenants=_FLEET_SIZE,
+                seed=case.seed,
+                policy="paper-governor",
+                jobs=jobs,
+            ),
+            spec=context.spec,
+            store=store,
+            tenants=tenants,
+            arrivals_ns=arrivals_ns,
+        )
+        return report_identity_bytes(report)
+
+    with tempfile.TemporaryDirectory(prefix="repro-qa-fleet-") as root:
+        cache = ProfileCache(root)
+        serial = fleet(serial_store)
+        parallel = fleet(
+            ProfileStore(context.spec, cache=cache), jobs=_IDENTITY_JOBS
+        )
+        warm_store = ProfileStore(context.spec, cache=ProfileCache(root))
+        warm = fleet(warm_store)
+        violations: List[str] = []
+        if parallel != serial:
+            violations.append(
+                f"multiprocess ({_IDENTITY_JOBS} workers) fleet report "
+                "diverges from the serial build on the identity view"
+            )
+        if warm != serial:
+            violations.append(
+                "warm-store fleet report diverges from the serial build "
+                "on the identity view"
+            )
+        return violations

@@ -271,15 +271,26 @@ class TenantProfile:
 
 
 class ProfileStore:
-    """Builds and caches :class:`TenantProfile` objects for a fleet."""
+    """Builds and caches :class:`TenantProfile` objects for a fleet.
+
+    ``cache`` layers a persistent
+    :class:`~repro.fleet.profile_cache.ProfileCache` under the
+    in-memory profile map: batched builds read traces through it before
+    simulating and publish what they simulate, so repeat runs — and
+    every cell of a policy × cap grid sharing the store's directory —
+    skip the simulation entirely. Cached traces round-trip bit-exactly,
+    so warm profiles are byte-identical to cold ones.
+    """
 
     def __init__(
         self,
         spec: Optional[MachineSpec] = None,
         power_model: Optional[PowerModel] = None,
+        cache: Optional["ProfileCache"] = None,
     ) -> None:
         self.spec = spec or haswell_i7_4770k()
         self.power_model = power_model or PowerModel(self.spec)
+        self.cache = cache
         self.profiles: Dict[str, TenantProfile] = {}
         self._programs: Dict[str, object] = {}
 
@@ -298,6 +309,7 @@ class ProfileStore:
         tenants: Sequence[TenantSpec],
         batch: bool = True,
         traces: Optional[Dict[str, SimulationTrace]] = None,
+        jobs: int = 1,
     ) -> Dict[str, int]:
         """Simulate the profiles a fleet needs.
 
@@ -308,17 +320,26 @@ class ProfileStore:
         pre-timed once across its base frequencies — and every tenant
         attaches to its group's profile. Unbatched is the naive
         baseline the fleet bench measures against: **every tenant** is
-        simulated independently, fresh program, no cross-tenant
-        sharing of any kind. The two modes produce byte-identical
+        simulated independently, fresh program, no cross-tenant sharing
+        of any kind (and no cache). The modes produce byte-identical
         profiles (simulation is a pure function of the tenant shape);
         only the work repeated changes.
 
+        With a persistent :attr:`cache`, batched builds fetch each
+        shape's trace from the cache first and publish every trace they
+        simulate. With ``jobs > 1`` the still-pending shapes are
+        sharded over a spawn-context worker pool
+        (:func:`repro.fleet.parallel.build_traces_parallel`) — again
+        byte-identical, the ``fleet-parallel-identity`` invariant.
+
         ``traces`` injects pre-simulated traces by profile key (the
         dominance invariant reuses the QA context's simulations this
-        way). Returns build diagnostics: profile/group/prewarm counts.
+        way). Returns build diagnostics: profile/group/prewarm counts
+        plus ``cache_hits``, ``jobs`` and (parallel) ``recovered``.
         """
         pending: List[Tuple[str, TenantSpec]] = []
         pending_keys = set()
+        cache_hits = 0
         for tenant in tenants:
             key = profile_key(tenant)
             if key in self.profiles:
@@ -331,49 +352,87 @@ class ProfileStore:
                 continue
             if batch and key in pending_keys:
                 continue
+            if batch and self.cache is not None:
+                from repro.fleet.profile_cache import key_for_tenant
+
+                cached = self.cache.get(key_for_tenant(tenant, self.spec))
+                if cached is not None:
+                    cache_hits += 1
+                    self.profiles[key] = TenantProfile(
+                        key, cached, self.spec, tenant.predictor,
+                        self.power_model,
+                    )
+                    continue
             pending_keys.add(key)
             pending.append((key, tenant))
         groups = 0
         prewarmed = 0
+        recovered = 0
+        effective_jobs = 1
         if pending:
-            if batch:
-                from repro.sim.batch import BatchInstance, run_batch
+            if batch and jobs > 1 and len(pending) > 1:
+                from repro.fleet.parallel import build_traces_parallel
 
-                report = run_batch(
-                    [
-                        BatchInstance(
-                            program=self._program_for(tenant),
-                            freq_ghz=tenant.base_freq_ghz,
+                built, par = build_traces_parallel(
+                    pending, self.spec, jobs, cache=self.cache
+                )
+                groups = par["groups"]
+                prewarmed = par["prewarmed_freqs"]
+                recovered = par["recovered"]
+                effective_jobs = jobs
+                for key, tenant in pending:
+                    self.profiles[key] = TenantProfile(
+                        key, built[key], self.spec, tenant.predictor,
+                        self.power_model,
+                    )
+            else:
+                if batch:
+                    from repro.sim.batch import BatchInstance, run_batch
+
+                    report = run_batch(
+                        [
+                            BatchInstance(
+                                program=self._program_for(tenant),
+                                freq_ghz=tenant.base_freq_ghz,
+                                spec=self.spec,
+                                quantum_ns=tenant.quantum_ns,
+                                label=key,
+                            )
+                            for key, tenant in pending
+                        ]
+                    )
+                    results = report.results
+                    groups = report.groups
+                    prewarmed = report.prewarmed_freqs
+                else:
+                    results = [
+                        simulate(
+                            tenant.program(),
+                            tenant.base_freq_ghz,
                             spec=self.spec,
                             quantum_ns=tenant.quantum_ns,
-                            label=key,
                         )
                         for key, tenant in pending
                     ]
-                )
-                results = report.results
-                groups = report.groups
-                prewarmed = report.prewarmed_freqs
-            else:
-                results = [
-                    simulate(
-                        tenant.program(),
-                        tenant.base_freq_ghz,
-                        spec=self.spec,
-                        quantum_ns=tenant.quantum_ns,
+                for (key, tenant), result in zip(pending, results):
+                    if batch and self.cache is not None:
+                        from repro.fleet.profile_cache import key_for_tenant
+
+                        self.cache.put(
+                            key_for_tenant(tenant, self.spec), result.trace
+                        )
+                    self.profiles[key] = TenantProfile(
+                        key, result.trace, self.spec, tenant.predictor,
+                        self.power_model,
                     )
-                    for key, tenant in pending
-                ]
-            for (key, tenant), result in zip(pending, results):
-                self.profiles[key] = TenantProfile(
-                    key, result.trace, self.spec, tenant.predictor,
-                    self.power_model,
-                )
         return {
             "profiles_built": len(pending),
             "profiles_total": len(self.profiles),
             "groups": groups,
             "prewarmed_freqs": prewarmed,
+            "cache_hits": cache_hits,
+            "jobs": effective_jobs,
+            "recovered": recovered,
         }
 
     def profile_for(self, tenant: TenantSpec) -> TenantProfile:

@@ -30,6 +30,19 @@ REPORT_KIND = "repro-fleet-report"
 
 _PathLike = Union[str, Path]
 
+#: Build counters that describe *how* this particular run executed —
+#: worker width, persistent-store hits, parent-side recoveries — rather
+#: than what it computed. They vary between a cold and a warm run of the
+#: same seed, so the canonical ``--out`` bytes exclude them.
+_VOLATILE_DIAGNOSTICS = (
+    "profiles_built",
+    "groups",
+    "prewarmed_freqs",
+    "cache_hits",
+    "jobs",
+    "recovered",
+)
+
 
 @dataclass
 class FleetReport:
@@ -90,10 +103,21 @@ def report_from_dict(payload: Dict[str, Any]) -> FleetReport:
 
 
 def report_bytes(report: FleetReport) -> bytes:
-    """Canonical serialization: what ``--out`` writes, byte for byte."""
-    return (
-        json.dumps(report_to_dict(report), sort_keys=True, indent=2) + "\n"
-    ).encode("utf-8")
+    """Canonical serialization: what ``--out`` writes, byte for byte.
+
+    Execution-only diagnostics (:data:`_VOLATILE_DIAGNOSTICS`) are
+    dropped so the file is byte-identical at any ``--jobs`` width and
+    whether the profile store was cold or warm.
+    """
+    payload = report_to_dict(report)
+    payload["diagnostics"] = {
+        key: value
+        for key, value in payload["diagnostics"].items()
+        if key not in _VOLATILE_DIAGNOSTICS
+    }
+    return (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode(
+        "utf-8"
+    )
 
 
 def report_identity_bytes(report: FleetReport) -> bytes:

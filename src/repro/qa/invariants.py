@@ -337,3 +337,15 @@ def _fleet_policy_dominance(context: CaseContext) -> List[str]:
     from repro.fleet.dominance import case_dominance_violations
 
     return case_dominance_violations(context)
+
+
+@register(
+    "fleet-parallel-identity",
+    "fleet reports are byte-identical on the determinism view whether "
+    "profiles are built serially, by a multiprocess worker pool, or "
+    "rehydrated from the persistent profile store",
+)
+def _fleet_parallel_identity(context: CaseContext) -> List[str]:
+    from repro.fleet.parallel import case_parallel_identity_violations
+
+    return case_parallel_identity_violations(context)

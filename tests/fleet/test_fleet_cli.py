@@ -1,10 +1,19 @@
-"""The repro-fleet CLI: run/report/compare, determinism, errors."""
+"""The repro-fleet CLI: run/report/compare/grid/cache, determinism, errors."""
+
+import json
 
 import pytest
 
 from repro.fleet.cli import main
 
 ARGS = ["--tenants", "5", "--seed", "2", "--rate", "50000"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(monkeypatch, tmp_path):
+    """Keep every CLI invocation's profile store inside the test tmpdir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
 
 
 def test_run_writes_a_deterministic_report(tmp_path, capsys):
@@ -14,7 +23,16 @@ def test_run_writes_a_deterministic_report(tmp_path, capsys):
     text = capsys.readouterr().out
     assert "Fleet run — paper-governor" in text
     assert "Per-family rollup" in text
+    # The second run hits the warm profile store; bytes must not move.
     assert main(["run", *ARGS, "--out", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+
+
+def test_run_jobs_and_no_cache_leave_report_bytes_alone(tmp_path, capsys):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert main(["run", *ARGS, "--no-cache", "--out", str(out_a)]) == 0
+    assert main(["run", *ARGS, "--jobs", "2", "--out", str(out_b)]) == 0
     assert out_a.read_bytes() == out_b.read_bytes()
 
 
@@ -52,3 +70,37 @@ def test_compare_rejects_unknown_policy(capsys):
 def test_run_rejects_unknown_policy_at_parse_time():
     with pytest.raises(SystemExit):
         main(["run", "--policy", "bogus"])
+
+
+def test_grid_writes_the_figure(tmp_path, capsys):
+    out = tmp_path / "grid.json"
+    assert main([
+        "grid", *ARGS, "--policies", "static-max,tail-allocator",
+        "--caps", "150,400", "--out", str(out),
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "Fleet grid — 5 tenants" in text
+    payload = json.loads(out.read_text())
+    assert payload["kind"] == "repro-fleet-grid"
+    assert len(payload["cells"]) == 4
+    assert "diagnostics" not in payload
+
+
+def test_cache_stats_and_clear(isolated_cache, capsys):
+    assert main(["run", *ARGS]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    text = capsys.readouterr().out
+    assert "profile cache:" in text
+    assert "entries:       0" not in text  # the run stored profiles
+    assert main(["cache", "clear"]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "stats"]) == 0
+    assert "entries:       0" in capsys.readouterr().out
+
+
+def test_profile_flag_dumps_pstats(tmp_path, capsys):
+    pstats = tmp_path / "fleet.pstats"
+    assert main(["--profile", str(pstats), "run", *ARGS]) == 0
+    assert pstats.exists()
+    assert "profile written to" in capsys.readouterr().out

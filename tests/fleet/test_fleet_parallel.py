@@ -1,0 +1,127 @@
+"""Multiprocess profile building: partitioning, identity, recovery."""
+
+import pytest
+
+from repro.arch.specs import haswell_i7_4770k
+from repro.fleet.parallel import (
+    build_traces_parallel,
+    partition_shapes,
+    simulate_shapes,
+)
+from repro.fleet.profile_cache import ProfileCache
+from repro.fleet.profiles import ProfileStore
+from repro.fleet.tenants import profile_key, workload_fingerprint
+from repro.sim.serialize import trace_to_dict
+from tests.fleet.conftest import tiny_tenant
+
+SPEC = haswell_i7_4770k()
+
+
+def _shapes(tenants):
+    return [(profile_key(t), t) for t in tenants]
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    tenants = [
+        tiny_tenant("p0", seed=1, base=3.0),
+        tiny_tenant("p1", seed=1, base=4.0),
+        tiny_tenant("p2", seed=2, base=3.0),
+        tiny_tenant("p3", seed=2, base=3.0, quantum=4.0e4),
+    ]
+    return _shapes(tenants)
+
+
+def test_partition_groups_by_workload_family(shapes):
+    batches = partition_shapes(shapes, jobs=2)
+    assert sorted(key for batch in batches for key, _ in batch) == sorted(
+        key for key, _ in shapes
+    )
+    for batch in batches:
+        families = {workload_fingerprint(t.workload) for _, t in batch}
+        assert len(families) == 1  # enough families: no batch straddles
+
+
+def test_partition_splits_when_workers_outnumber_families(shapes):
+    batches = partition_shapes(shapes, jobs=4)
+    assert len(batches) == 4
+    assert sorted(key for batch in batches for key, _ in batch) == sorted(
+        key for key, _ in shapes
+    )
+
+
+def test_partition_is_deterministic(shapes):
+    assert partition_shapes(shapes, 3) == partition_shapes(list(shapes), 3)
+
+
+def test_parallel_traces_match_serial_bit_exactly(shapes):
+    serial = {
+        key: result.trace
+        for (key, _), result in zip(
+            shapes, simulate_shapes(shapes, SPEC).results
+        )
+    }
+    parallel, diagnostics = build_traces_parallel(shapes, SPEC, jobs=2)
+    assert diagnostics["jobs"] == 2
+    assert diagnostics["recovered"] == 0
+    assert set(parallel) == set(serial)
+    for key in serial:
+        assert trace_to_dict(parallel[key]) == trace_to_dict(serial[key])
+
+
+def test_parallel_build_fills_the_shared_cache(tmp_path, shapes):
+    cache = ProfileCache(tmp_path)
+    build_traces_parallel(shapes, SPEC, jobs=2, cache=cache)
+    assert len(cache) == len(shapes)
+
+
+def test_empty_shape_list_is_a_noop():
+    traces, diagnostics = build_traces_parallel([], SPEC, jobs=4)
+    assert traces == {}
+    assert diagnostics["recovered"] == 0
+
+
+class _AmnesiacCache(ProfileCache):
+    """Reads nothing back — forces the parent's serial recovery path."""
+
+    def get(self, key):
+        return None
+
+
+def test_parent_recovers_shapes_missing_from_the_cache(tmp_path, shapes):
+    cache = _AmnesiacCache(tmp_path)
+    traces, diagnostics = build_traces_parallel(shapes, SPEC, jobs=2, cache=cache)
+    assert diagnostics["recovered"] == len(shapes)
+    serial = {
+        key: result.trace
+        for (key, _), result in zip(
+            shapes, simulate_shapes(shapes, SPEC).results
+        )
+    }
+    for key in serial:
+        assert trace_to_dict(traces[key]) == trace_to_dict(serial[key])
+
+
+def test_store_build_parallel_matches_serial(tmp_path, shapes):
+    tenants = [tenant for _, tenant in shapes]
+    serial_store = ProfileStore(SPEC)
+    serial_store.build(tenants)
+    parallel_store = ProfileStore(SPEC, cache=ProfileCache(tmp_path))
+    diagnostics = parallel_store.build(tenants, jobs=2)
+    assert diagnostics["jobs"] == 2
+    assert set(parallel_store.profiles) == set(serial_store.profiles)
+    for key, profile in serial_store.profiles.items():
+        other = parallel_store.profiles[key]
+        assert trace_to_dict(other.trace) == trace_to_dict(profile.trace)
+        assert (other.durations == profile.durations).all()
+        assert (other.energies == profile.energies).all()
+
+    # And a warm rebuild from the store the parallel build filled.
+    warm_store = ProfileStore(SPEC, cache=ProfileCache(tmp_path))
+    warm = warm_store.build(tenants)
+    assert warm["cache_hits"] == len(serial_store.profiles)
+    assert warm["profiles_built"] == 0
+    for key, profile in serial_store.profiles.items():
+        assert trace_to_dict(
+            warm_store.profiles[key].trace
+        ) == trace_to_dict(profile.trace)
